@@ -1,0 +1,38 @@
+//! # ft-apps — the workload application suite
+//!
+//! Analogues of the paper's five evaluation applications (§3, §4), built
+//! on the simulated testbed with all recoverable state in arena memory:
+//!
+//! | module        | paper app  | profile                                             |
+//! |---------------|------------|-----------------------------------------------------|
+//! | [`editor`]    | nvi        | keystroke-driven, fixed nd + visibles, tiny compute |
+//! | [`cad`]       | magic      | 1 s commands, router/DRC compute bursts, clock nds  |
+//! | [`game`]      | xpilot     | 4 processes, 15 fps, sends + recvs + visibles       |
+//! | [`barnes_hut`]| TreadMarks | DSM N-body: compute-bound, message-heavy, few visibles |
+//! | [`minidb`]    | postgres   | B-tree storage engine, data-heavy, few syscalls     |
+//!
+//! [`taskfarm`] adds a sixth, lock-based TreadMarks workload (TSP-style
+//! self-scheduling over `ft_dsm::lock`) beyond the paper's five.
+//!
+//! Each application embeds `ft-faults` hooks at realistic fault sites
+//! (bounds checks, split guards, initializations, stores), so the §4 fault
+//! studies exercise genuine failure propagation through real data
+//! structures. [`workload`] generates the deterministic scripts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barnes_hut;
+pub mod cad;
+pub mod editor;
+pub mod game;
+pub mod minidb;
+pub mod taskfarm;
+pub mod workload;
+
+pub use barnes_hut::BarnesHut;
+pub use cad::Cad;
+pub use editor::Editor;
+pub use game::{GameClient, GameServer};
+pub use minidb::MiniDb;
+pub use taskfarm::TaskFarm;

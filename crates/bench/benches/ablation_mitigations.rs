@@ -1,0 +1,121 @@
+//! The §2.6 mitigation ablation: how much does crashing early help?
+//!
+//! The paper's advice for improving the odds against Lose-work:
+//! "applications should try to crash as soon as possible after their bugs
+//! get triggered … performing consistency checks" and "commit as
+//! infrequently as possible". This bench quantifies both on the editor:
+//!
+//! 1. run the heap-bit-flip campaign with the integrity checks only at
+//!    save time (the default) vs. at every keystroke (`eager_checks`),
+//!    measuring the Lose-work violation rate and the throughput cost;
+//! 2. compare violation rates across protocols with different commit
+//!    frequencies (CPVS vs. CAND vs. CBNDVS-LOG).
+
+use ft_bench::report::render_table;
+use ft_bench::scenarios;
+use ft_core::losework::check_commit_after_activation;
+use ft_core::protocol::Protocol;
+use ft_dc::harness::DcHarness;
+use ft_dc::state::DcConfig;
+use ft_faults::{FaultPlan, FaultType};
+use ft_sim::harness::run_plain_on;
+
+fn campaign(eager: bool, protocol: Protocol) -> (u32, u32) {
+    let mut crashes = 0;
+    let mut violations = 0;
+    for t in 0..400u64 {
+        if crashes >= 50 {
+            break;
+        }
+        let seed = 0xAB1A + t * 1297;
+        let plan = FaultPlan {
+            fault: FaultType::HeapBitFlip,
+            site: ft_apps::editor::fault_site(FaultType::HeapBitFlip),
+            trigger_visit: (3 + (t % 37) * 5) as u32,
+            id: 1,
+            sticky: false,
+        };
+        let (sim, apps) = if eager {
+            scenarios::nvi_checked(seed, 400, ft_sim::MS, Some(plan))
+        } else {
+            scenarios::nvi_custom(seed, 400, ft_sim::MS, Some(plan))
+        };
+        let mut cfg = DcConfig::discount_checking(protocol);
+        cfg.max_recoveries = 0;
+        let report = DcHarness::new(sim, cfg, apps).run();
+        if !report.trace.iter().any(|e| e.kind.is_crash()) {
+            continue;
+        }
+        crashes += 1;
+        if check_commit_after_activation(&report.trace).is_violated() {
+            violations += 1;
+        }
+    }
+    (crashes, violations)
+}
+
+fn baseline_runtime(eager: bool) -> u64 {
+    // Zero think time: the runtime is pure processing, so the checks'
+    // cost is visible rather than hidden in idle time.
+    let (sim, mut apps) = if eager {
+        scenarios::nvi_checked(1, 400, 0, None)
+    } else {
+        scenarios::nvi_custom(1, 400, 0, None)
+    };
+    let r = run_plain_on(sim, &mut apps);
+    assert!(r.all_done);
+    r.runtime
+}
+
+fn main() {
+    println!("§2.6 ablation — crash early: heap-bit-flip campaign on nvi (CPVS)\n");
+    let base = baseline_runtime(false);
+    let base_eager = baseline_runtime(true);
+    let (c0, v0) = campaign(false, Protocol::Cpvs);
+    let (c1, v1) = campaign(true, Protocol::Cpvs);
+    let rows = vec![
+        vec![
+            "checks at save time only".to_string(),
+            format!("{}/{}", v0, c0),
+            format!("{:.0}%", v0 as f64 / c0.max(1) as f64 * 100.0),
+            "baseline".to_string(),
+        ],
+        vec![
+            "checks at every keystroke".to_string(),
+            format!("{}/{}", v1, c1),
+            format!("{:.0}%", v1 as f64 / c1.max(1) as f64 * 100.0),
+            format!(
+                "+{:.1}% processing time",
+                (base_eager as f64 - base as f64) / base as f64 * 100.0
+            ),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["configuration", "violations/crashes", "rate", "cost"],
+            &rows
+        )
+    );
+    assert!(
+        v1 * c0 <= v0 * c1,
+        "eager checks must not increase the rate"
+    );
+
+    println!("§2.6 ablation — commit less often: violation rate by protocol\n");
+    let rows: Vec<Vec<String>> = [Protocol::Cand, Protocol::Cpvs, Protocol::CbndvsLog]
+        .iter()
+        .map(|&p| {
+            let (c, v) = campaign(false, p);
+            vec![
+                p.to_string(),
+                format!("{}/{}", v, c),
+                format!("{:.0}%", v as f64 / c.max(1) as f64 * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["protocol", "violations/crashes", "rate"], &rows)
+    );
+}

@@ -1,0 +1,56 @@
+//! Figures 3 and 4: the protocol space and its design-variable trends.
+//!
+//! Plots every protocol — the seven executable ones plus the literature
+//! protocols the space unifies — on the two effort axes, and evaluates the
+//! Figure 4 trends at each point.
+
+use ft_bench::report::render_table;
+use ft_core::space::{ascii_plot, figure3_points, prevents_propagation_recovery, trends};
+
+fn main() {
+    println!("Figure 3 — the space of consistent-recovery protocols\n");
+    let pts = figure3_points();
+    println!("{}", ascii_plot(&pts, 64, 18));
+
+    println!("Figure 4 — design-variable trends at each point\n");
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            let t = trends(p.nd_effort, p.visible_effort);
+            let blocks_losework = p
+                .protocol
+                .map(|proto| {
+                    if prevents_propagation_recovery(proto) {
+                        "yes"
+                    } else {
+                        "no"
+                    }
+                })
+                .unwrap_or("-");
+            vec![
+                p.name.clone(),
+                format!("{:.2}", p.nd_effort),
+                format!("{:.2}", p.visible_effort),
+                format!("{:.2}", t.commit_frequency),
+                format!("{:.2}", t.constrained_reexecution),
+                format!("{:.2}", t.propagation_survival),
+                blocks_losework.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "protocol",
+                "nd effort",
+                "visible effort",
+                "commit freq",
+                "constrained reexec",
+                "propagation survival",
+                "prevents Lose-work"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,37 @@
+//! Figures 5–7: dangerous paths.
+//!
+//! Runs the Single-Process Dangerous Paths Algorithm on the Figure 6 cases
+//! (commit before deterministic doom / transient fork / fixed fork) and on
+//! the Figure 7 lattice, printing the coloring.
+
+use ft_core::graph::{figure6, figure7};
+
+fn main() {
+    for case in ['A', 'B', 'C'] {
+        let (g, start, probe) = figure6(case);
+        let dp = g.dangerous_paths();
+        println!(
+            "Figure 6{case}: commit at start {}; commit at probe point {}",
+            if dp.commit_safe(start) {
+                "SAFE"
+            } else {
+                "DANGEROUS"
+            },
+            if dp.commit_safe(probe) {
+                "SAFE"
+            } else {
+                "DANGEROUS"
+            },
+        );
+    }
+    println!();
+    let (g, _) = figure7();
+    let dp = g.dangerous_paths();
+    println!("Figure 7 — a state machine with its dangerous paths colored:\n");
+    println!("{}", g.render(&dp));
+    println!(
+        "{} of {} states are dangerous (commit there and recovery can fail).",
+        dp.dangerous_count(),
+        g.num_states()
+    );
+}

@@ -1,0 +1,39 @@
+// Quick probe of campaign dynamics.
+fn main() {
+    for app in [
+        ft_bench::table1::Table1App::Nvi,
+        ft_bench::table1::Table1App::Postgres,
+    ] {
+        println!("== Table 1: {} ==", app.name());
+        for fault in ft_faults::FaultType::ALL {
+            let row = ft_bench::table1::run_fault_type(app, fault, 50, 500, 77);
+            println!(
+                "{:<20} trials={:<4} crashes={:<3} viol={:<3} ({:>5.1}%) wrong={:<3} agree={}",
+                fault.name(),
+                row.trials,
+                row.crashes,
+                row.violations,
+                row.violation_pct(),
+                row.wrong_output,
+                row.e2e_agree
+            );
+        }
+    }
+    for app in [
+        ft_bench::table1::Table1App::Nvi,
+        ft_bench::table1::Table1App::Postgres,
+    ] {
+        println!("== Table 2: {} ==", app.name());
+        for fault in ft_faults::FaultType::ALL {
+            let row = ft_bench::table2::run_fault_type(app, fault, 50, 4242);
+            println!(
+                "{:<20} crashes={:<3} failed={:<3} ({:>5.1}%) prop={}",
+                fault.name(),
+                row.crashes,
+                row.failed_recoveries,
+                row.failed_pct(),
+                row.propagations
+            );
+        }
+    }
+}

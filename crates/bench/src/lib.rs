@@ -1,0 +1,24 @@
+//! # ft-bench — the experiment harnesses
+//!
+//! Engines and scenario builders behind the benchmark binaries that
+//! regenerate every table and figure of the paper's evaluation:
+//!
+//! * [`scenarios`] — configured simulator + application sets for the §3
+//!   workload suite;
+//! * [`fig8`] — protocol-grid runner (checkpoints, overhead, frame rate);
+//! * [`table1`] — application fault injection and the Lose-work violation
+//!   criterion (§4.1);
+//! * [`table2`] — operating-system fault injection (§4.2);
+//! * [`report`] — plain-text table rendering.
+//!
+//! Run `cargo bench` to regenerate everything; see `benches/` for the
+//! per-artifact binaries and EXPERIMENTS.md for recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig8;
+pub mod report;
+pub mod scenarios;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,122 @@
+//! Scenario builders: configured simulators plus application sets for each
+//! evaluation workload (§3's suite at bench scale).
+
+use ft_apps::barnes_hut;
+use ft_apps::editor::Editor;
+use ft_apps::game;
+use ft_apps::minidb::MiniDb;
+use ft_apps::workload::{cad_script, editor_script_with, minidb_script};
+use ft_apps::Cad;
+use ft_core::event::ProcessId;
+use ft_faults::{FaultInjector, FaultPlan};
+use ft_sim::script::{InputScript, SignalSchedule};
+use ft_sim::sim::{SimConfig, Simulator};
+use ft_sim::syscalls::App;
+use ft_sim::{MS, SEC};
+
+/// A built scenario ready to run.
+pub type Built = (Simulator, Vec<Box<dyn App>>);
+
+/// The nvi session: `keys` keystrokes at 100 ms think time, with a couple
+/// of asynchronous signals (window resizes) over the session. Saves are
+/// rare (every ~1000 keys) as in a real editing session.
+pub fn nvi(seed: u64, keys: usize) -> Built {
+    let mut sim = Simulator::new(SimConfig::single_node(1, seed));
+    let script = editor_script_with(keys, seed ^ 0xED17, 1009, 499);
+    sim.set_input_script(
+        ProcessId(0),
+        InputScript::think_time(100 * MS, script.into_iter().map(|k| vec![k]).collect()),
+    );
+    let span = keys as u64 * 100 * MS;
+    sim.set_signal_schedule(
+        ProcessId(0),
+        SignalSchedule::new(vec![(span / 3, 28), (2 * span / 3, 28)]),
+    );
+    (sim, vec![Box::new(Editor::new())])
+}
+
+/// The nvi session for the §4 crash studies: non-interactive (fast input),
+/// frequent saves, optionally with an armed application fault.
+pub fn nvi_custom(seed: u64, keys: usize, think_ns: u64, plan: Option<FaultPlan>) -> Built {
+    let mut sim = Simulator::new(SimConfig::single_node(1, seed));
+    let script = editor_script_with(keys, seed ^ 0xED17, 97, 43);
+    sim.set_input_script(
+        ProcessId(0),
+        InputScript::evenly_spaced(0, think_ns, script.into_iter().map(|k| vec![k]).collect()),
+    );
+    // A couple of SIGWINCH-style signals land mid-session.
+    let span = keys as u64 * think_ns;
+    sim.set_signal_schedule(
+        ProcessId(0),
+        SignalSchedule::new(vec![(span / 3, 28), (2 * span / 3, 28)]),
+    );
+    let mut app = Editor::new();
+    if let Some(p) = plan {
+        app.faults = FaultInjector::armed(p, seed ^ 0xFA);
+    }
+    (sim, vec![Box::new(app)])
+}
+
+/// As [`nvi_custom`], but with the §2.6 crash-early consistency checks
+/// running at every step (the mitigation ablation).
+pub fn nvi_checked(seed: u64, keys: usize, think_ns: u64, plan: Option<FaultPlan>) -> Built {
+    let (sim, _) = nvi_custom(seed, keys, think_ns, plan);
+    let mut app = Editor::new();
+    app.eager_checks = true;
+    if let Some(p) = plan {
+        app.faults = FaultInjector::armed(p, seed ^ 0xFA);
+    }
+    (sim, vec![Box::new(app)])
+}
+
+/// The magic session: `commands` layout commands at 1 s think time.
+pub fn magic(seed: u64, commands: usize) -> Built {
+    let mut sim = Simulator::new(SimConfig::single_node(1, seed));
+    sim.set_input_script(
+        ProcessId(0),
+        InputScript::think_time(SEC, cad_script(commands, seed ^ 0xCAD)),
+    );
+    (sim, vec![Box::new(Cad::new())])
+}
+
+/// The xpilot session: 4 processes on 4 nodes, `frames` frames at 15 fps.
+pub fn xpilot(seed: u64, frames: u64) -> Built {
+    let sim = Simulator::new(SimConfig::one_node_each(4, seed));
+    (sim, game::session(frames))
+}
+
+/// The TreadMarks Barnes-Hut run: 4 DSM nodes, `iterations` N-body steps,
+/// progress display every 50.
+pub fn treadmarks(seed: u64, iterations: u64) -> Built {
+    let sim = Simulator::new(SimConfig::one_node_each(4, seed));
+    (sim, barnes_hut::cluster(iterations, 50))
+}
+
+/// The lock-based TreadMarks workload (beyond the paper's suite): a
+/// TSP-style self-scheduling task farm over `ft_dsm::lock` — grant-chain
+/// message traffic instead of barrier broadcast, same few-visibles
+/// profile.
+pub fn taskfarm(seed: u64, workers: u32) -> Built {
+    let sim = Simulator::new(SimConfig::one_node_each(workers as usize + 1, seed));
+    (sim, ft_apps::taskfarm::farm(workers))
+}
+
+/// The postgres session: `requests` database requests at 50 ms spacing
+/// (compute-heavy, syscall-light — the Table 2 contrast with nvi).
+pub fn postgres(seed: u64, requests: usize) -> Built {
+    postgres_faulty(seed, requests, None)
+}
+
+/// The postgres session with an optional armed application fault.
+pub fn postgres_faulty(seed: u64, requests: usize, plan: Option<FaultPlan>) -> Built {
+    let mut sim = Simulator::new(SimConfig::single_node(1, seed));
+    sim.set_input_script(
+        ProcessId(0),
+        InputScript::evenly_spaced(0, 50 * MS, minidb_script(requests, seed ^ 0xDB)),
+    );
+    let mut app = MiniDb::new();
+    if let Some(p) = plan {
+        app.faults = FaultInjector::armed(p, seed ^ 0xFB);
+    }
+    (sim, vec![Box::new(app)])
+}

@@ -1,0 +1,130 @@
+//! The Table 2 engine: operating-system fault injection.
+//!
+//! §4.2's methodology: inject a fault into the running kernel beneath an
+//! application checkpointing with CPVS, "reboot" and recover after the node
+//! dies, and measure the fraction of failures the application does not
+//! survive. A kernel fault manifests either as a stop failure (immediate
+//! panic — always recoverable) or a propagation failure (corrupted syscall
+//! results reach the application before the panic); how much corruption
+//! reaches the application scales with its syscall rate, which is the
+//! paper's explanation for nvi failing recovery five times as often as
+//! postgres.
+
+use ft_core::event::ProcessId;
+use ft_core::protocol::Protocol;
+use ft_dc::harness::DcHarness;
+use ft_dc::state::DcConfig;
+use ft_faults::{FaultType, KernelFaultPlan};
+use ft_sim::rng::SplitMix64;
+
+use crate::scenarios::Built;
+use crate::table1::Table1App;
+
+/// One fault type's OS-fault campaign results.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Row {
+    /// The fault type.
+    pub fault: FaultType,
+    /// Failures induced (every trial kills the node).
+    pub crashes: u32,
+    /// Runs the application failed to recover from (crash-looped until the
+    /// recovery budget ran out, or never completed).
+    pub failed_recoveries: u32,
+    /// Trials that manifested as propagation failures.
+    pub propagations: u32,
+}
+
+impl Table2Row {
+    /// The Table 2 cell: percent of OS failures with failed recovery.
+    pub fn failed_pct(&self) -> f64 {
+        if self.crashes == 0 {
+            0.0
+        } else {
+            self.failed_recoveries as f64 / self.crashes as f64 * 100.0
+        }
+    }
+}
+
+fn build_app(app: Table1App, seed: u64) -> Built {
+    match app {
+        Table1App::Nvi => crate::scenarios::nvi_custom(seed, 400, ft_sim::MS, None),
+        Table1App::Postgres => crate::scenarios::postgres_faulty(seed, 220, None),
+    }
+}
+
+/// Session length, for placing the injection somewhere in the middle.
+fn session_span(app: Table1App) -> u64 {
+    match app {
+        Table1App::Nvi => 400 * ft_sim::MS,
+        Table1App::Postgres => 220 * 50 * ft_sim::MS,
+    }
+}
+
+/// Runs the OS-fault campaign for one fault type.
+pub fn run_fault_type(app: Table1App, fault: FaultType, trials: u32, seed0: u64) -> Table2Row {
+    let mut row = Table2Row {
+        fault,
+        crashes: 0,
+        failed_recoveries: 0,
+        propagations: 0,
+    };
+    for t in 0..trials {
+        let seed = seed0 + t as u64 * 911;
+        let mut rng = SplitMix64::new(seed ^ 0x05FA);
+        let inject_at = session_span(app) / 5 + rng.below(session_span(app) * 3 / 5);
+        let (mut sim, apps) = build_app(app, seed);
+        let plan = KernelFaultPlan::for_type(fault, inject_at);
+        if plan.inject(&mut sim, ProcessId(0), &mut rng) {
+            row.propagations += 1;
+        }
+        row.crashes += 1;
+        let report = DcHarness::new(sim, DcConfig::discount_checking(Protocol::Cpvs), apps).run();
+        if !report.all_done {
+            row.failed_recoveries += 1;
+        }
+    }
+    row
+}
+
+/// Runs the full Table 2 campaign for one application.
+pub fn run_table2(app: Table1App, trials: u32, seed0: u64) -> Vec<Table2Row> {
+    FaultType::ALL
+        .iter()
+        .map(|&f| run_fault_type(app, f, trials, seed0 ^ (f as u64) << 16))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_failures_always_recover() {
+        // Force pure stop failures by zeroing the propagation probability.
+        let mut failed = 0;
+        for t in 0..6u64 {
+            let seed = 500 + t * 13;
+            let (mut sim, apps) = build_app(Table1App::Nvi, seed);
+            let inject_at = 50 * ft_sim::MS + t * 40 * ft_sim::MS;
+            sim.kill_at(ProcessId(0), inject_at);
+            let report =
+                DcHarness::new(sim, DcConfig::discount_checking(Protocol::Cpvs), apps).run();
+            if !report.all_done {
+                failed += 1;
+            }
+        }
+        assert_eq!(failed, 0, "stop failures must always be recoverable");
+    }
+
+    #[test]
+    fn nvi_fails_more_often_than_postgres() {
+        let nvi = run_fault_type(Table1App::Nvi, FaultType::DeleteBranch, 12, 9000);
+        let pg = run_fault_type(Table1App::Postgres, FaultType::DeleteBranch, 12, 9000);
+        assert!(
+            nvi.failed_recoveries >= pg.failed_recoveries,
+            "nvi {} < postgres {}",
+            nvi.failed_recoveries,
+            pg.failed_recoveries
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Vector clocks and Lamport's happens-before relation (§2.2).
+//!
+//! The paper orders events in asynchronous computations with Lamport's
+//! *happens-before* relation and uses it as an approximation of causality
+//! ("causally precedes"). We realize the relation with per-event vector
+//! clocks: each process increments its own component before recording an
+//! event, and a receive joins the sender's clock at the send. With that
+//! discipline, event `a` happens-before event `b` if and only if
+//! `a.clock[a.pid] <= b.clock[a.pid]` (for distinct events).
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::ProcessId;
+
+/// A vector clock over a fixed number of processes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    components: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Creates a zero clock for `n` processes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            components: vec![0; n],
+        }
+    }
+
+    /// Number of processes this clock covers.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True if the clock covers zero processes.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The component for process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn get(&self, p: ProcessId) -> u64 {
+        self.components[p.index()]
+    }
+
+    /// Increments the component for process `p` and returns the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn tick(&mut self, p: ProcessId) -> u64 {
+        let c = &mut self.components[p.index()];
+        *c += 1;
+        *c
+    }
+
+    /// Joins (component-wise max) `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different lengths.
+    pub fn join(&mut self, other: &VectorClock) {
+        assert_eq!(
+            self.components.len(),
+            other.components.len(),
+            "vector clocks must cover the same processes"
+        );
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Component-wise `<=`.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.components.len() == other.components.len()
+            && self
+                .components
+                .iter()
+                .zip(&other.components)
+                .all(|(a, b)| a <= b)
+    }
+
+    /// True if `self` and `other` are concurrent (neither `<=` the other and
+    /// not equal).
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+
+    /// Raw components, for inspection and testing.
+    pub fn components(&self) -> &[u64] {
+        &self.components
+    }
+}
+
+impl std::fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// Happens-before test over per-event clocks.
+///
+/// `a_pid`/`a_clock` describe the clock *after* event `a` on process
+/// `a_pid`; likewise for `b`. Returns true iff `a` happens-before `b` under
+/// the clock discipline described in the module docs. Two distinct events on
+/// the same process are ordered by their own component.
+pub fn happens_before(
+    a_pid: ProcessId,
+    a_clock: &VectorClock,
+    b_pid: ProcessId,
+    b_clock: &VectorClock,
+) -> bool {
+    if a_pid == b_pid {
+        // Same process: program order, strict.
+        a_clock.get(a_pid) < b_clock.get(b_pid)
+    } else {
+        // a's knowledge has reached b.
+        a_clock.get(a_pid) <= b_clock.get(a_pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VectorClock::new(3);
+        assert_eq!(c.get(p(1)), 0);
+        assert_eq!(c.tick(p(1)), 1);
+        assert_eq!(c.tick(p(1)), 2);
+        assert_eq!(c.get(p(1)), 2);
+        assert_eq!(c.get(p(0)), 0);
+    }
+
+    #[test]
+    fn join_takes_componentwise_max() {
+        let mut a = VectorClock::new(2);
+        a.tick(p(0));
+        a.tick(p(0));
+        let mut b = VectorClock::new(2);
+        b.tick(p(1));
+        a.join(&b);
+        assert_eq!(a.components(), &[2, 1]);
+    }
+
+    #[test]
+    fn le_and_concurrency() {
+        let mut a = VectorClock::new(2);
+        a.tick(p(0));
+        let mut b = a.clone();
+        b.tick(p(1));
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(!a.concurrent(&b));
+
+        let mut c = VectorClock::new(2);
+        c.tick(p(1));
+        assert!(a.concurrent(&c));
+    }
+
+    #[test]
+    fn happens_before_program_order() {
+        // Two events on the same process: clocks <1,0> then <2,0>.
+        let mut e1 = VectorClock::new(2);
+        e1.tick(p(0));
+        let mut e2 = e1.clone();
+        e2.tick(p(0));
+        assert!(happens_before(p(0), &e1, p(0), &e2));
+        assert!(!happens_before(p(0), &e2, p(0), &e1));
+        // An event does not happen before itself.
+        assert!(!happens_before(p(0), &e1, p(0), &e1));
+    }
+
+    #[test]
+    fn happens_before_via_message() {
+        // P0 executes send (clock <1,0>); P1 receives, joining: <1,1>.
+        let mut send = VectorClock::new(2);
+        send.tick(p(0));
+        let mut recv = VectorClock::new(2);
+        recv.tick(p(1));
+        recv.join(&send);
+        assert!(happens_before(p(0), &send, p(1), &recv));
+        assert!(!happens_before(p(1), &recv, p(0), &send));
+    }
+
+    #[test]
+    fn concurrent_events_not_ordered() {
+        let mut a = VectorClock::new(2);
+        a.tick(p(0));
+        let mut b = VectorClock::new(2);
+        b.tick(p(1));
+        assert!(!happens_before(p(0), &a, p(1), &b));
+        assert!(!happens_before(p(1), &b, p(0), &a));
+    }
+
+    #[test]
+    #[should_panic(expected = "same processes")]
+    fn join_length_mismatch_panics() {
+        let mut a = VectorClock::new(2);
+        let b = VectorClock::new(3);
+        a.join(&b);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut c = VectorClock::new(3);
+        c.tick(p(0));
+        c.tick(p(2));
+        assert_eq!(c.to_string(), "<1,0,1>");
+    }
+}

@@ -1,0 +1,241 @@
+//! The protocol space of §2.4 (Figures 3 and 4).
+//!
+//! Every consistent-recovery protocol falls somewhere in a two-dimensional
+//! space: one axis is the effort made to *identify or convert*
+//! non-deterministic events (logging converts non-determinism into
+//! determinism); the other is the effort made to *commit only visible
+//! events* (avoiding commits for sends and internal events, up to asking
+//! remote processes to commit). This module places the paper's protocols
+//! and the literature protocols it unifies at their qualitative coordinates
+//! and exposes the Figure 4 design-variable trends.
+
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::Protocol;
+
+/// A named point in the protocol space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpacePoint {
+    /// Display name.
+    pub name: String,
+    /// Effort made to identify/convert non-deterministic events, in [0, 1].
+    pub nd_effort: f64,
+    /// Effort made to commit only visible events, in [0, 1].
+    pub visible_effort: f64,
+    /// The executable protocol, when this point is one of ours.
+    pub protocol: Option<Protocol>,
+}
+
+/// Coordinates for one of the executable protocols (Figure 3 / Figure 8
+/// layout).
+pub fn coordinates(p: Protocol) -> (f64, f64) {
+    match p {
+        Protocol::CommitAll => (0.0, 0.0),
+        Protocol::Cand => (0.30, 0.0),
+        Protocol::CandLog => (0.60, 0.0),
+        Protocol::Cpvs => (0.30, 0.55),
+        Protocol::Cbndvs => (0.50, 0.55),
+        Protocol::CbndvsLog => (0.70, 0.55),
+        Protocol::Cpv2pc => (0.30, 0.85),
+        Protocol::Cbndv2pc => (0.50, 0.85),
+    }
+}
+
+/// The full Figure 3 layout: executable protocols plus the literature
+/// protocols the space unifies.
+pub fn figure3_points() -> Vec<SpacePoint> {
+    let mut pts: Vec<SpacePoint> = [
+        Protocol::CommitAll,
+        Protocol::Cand,
+        Protocol::CandLog,
+        Protocol::Cpvs,
+        Protocol::Cbndvs,
+        Protocol::CbndvsLog,
+        Protocol::Cpv2pc,
+        Protocol::Cbndv2pc,
+    ]
+    .into_iter()
+    .map(|p| {
+        let (x, y) = coordinates(p);
+        SpacePoint {
+            name: p.name().to_string(),
+            nd_effort: x,
+            visible_effort: y,
+            protocol: Some(p),
+        }
+    })
+    .collect();
+    // Literature protocols (§2.4): positions reflect the paper's Figure 3.
+    let lit: [(&str, f64, f64); 7] = [
+        ("SBL", 0.50, 0.05),
+        ("FBL", 0.50, 0.15),
+        ("Targon/32", 0.72, 0.0),
+        ("Hypervisor", 0.95, 0.0),
+        ("Optimistic logging", 0.62, 0.78),
+        ("Coordinated checkpointing", 0.40, 0.88),
+        ("Manetho", 0.80, 0.88),
+    ];
+    pts.extend(lit.iter().map(|&(n, x, y)| SpacePoint {
+        name: n.to_string(),
+        nd_effort: x,
+        visible_effort: y,
+        protocol: None,
+    }));
+    pts
+}
+
+/// The Figure 4 design-variable trends, evaluated at a point in the space.
+///
+/// All values are qualitative ranks in [0, 1]; only their ordering between
+/// points is meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignTrends {
+    /// Expected commit frequency: decreases with radial distance from the
+    /// origin (1.0 at the origin).
+    pub commit_frequency: f64,
+    /// Implementation simplicity / likelihood of a correct implementation:
+    /// decreases with radial distance.
+    pub simplicity: f64,
+    /// Recovery time from constrained re-execution: grows with effort spent
+    /// converting non-determinism (logging means replaying the pre-failure
+    /// path).
+    pub constrained_reexecution: f64,
+    /// Chance of surviving propagation failures: grows with distance from
+    /// the horizontal axis (§2.6 — the farther from the axis, the more
+    /// non-determinism is safely left uncommitted).
+    pub propagation_survival: f64,
+}
+
+/// Evaluates the Figure 4 trends at `(nd_effort, visible_effort)`.
+pub fn trends(nd_effort: f64, visible_effort: f64) -> DesignTrends {
+    let radius = (nd_effort * nd_effort + visible_effort * visible_effort)
+        .sqrt()
+        .min(1.0);
+    DesignTrends {
+        commit_frequency: 1.0 - radius,
+        simplicity: 1.0 - radius,
+        constrained_reexecution: nd_effort,
+        propagation_survival: visible_effort,
+    }
+}
+
+/// Renders the protocol space as an ASCII plot (the Figure 3 reproduction).
+///
+/// `width`/`height` are the plot dimensions in characters; points are
+/// labeled with an index into the returned legend.
+pub fn ascii_plot(points: &[SpacePoint], width: usize, height: usize) -> String {
+    assert!(width >= 10 && height >= 5, "plot too small");
+    let mut grid = vec![vec![' '; width]; height];
+    let mut legend = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let x = ((p.nd_effort * (width - 1) as f64).round() as usize).min(width - 1);
+        let y = ((p.visible_effort * (height - 1) as f64).round() as usize).min(height - 1);
+        let row = height - 1 - y; // Flip so the origin is bottom-left.
+        let label = std::char::from_digit((i % 36) as u32, 36).unwrap_or('?');
+        grid[row][x] = label;
+        legend.push_str(&format!(
+            "  {} = {} ({:.2}, {:.2})\n",
+            label, p.name, p.nd_effort, p.visible_effort
+        ));
+    }
+    let mut out = String::new();
+    out.push_str("effort to commit only visible events\n");
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("> effort to identify/convert non-determinism\n");
+    out.push_str(&legend);
+    out
+}
+
+/// §2.6's key observation as a predicate: protocols on the horizontal axis
+/// (no effort to avoid committing non-visible events... more precisely, all
+/// protocols that commit or convert *all* non-determinism) guarantee that
+/// applications will not recover from propagation failures.
+pub fn prevents_propagation_recovery(p: Protocol) -> bool {
+    let (_, y) = coordinates(p);
+    y == 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executable_protocols_have_coordinates_in_range() {
+        for p in Protocol::FIGURE8 {
+            let (x, y) = coordinates(p);
+            assert!((0.0..=1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn log_variants_sit_right_of_their_base() {
+        let (cand_x, _) = coordinates(Protocol::Cand);
+        let (candlog_x, _) = coordinates(Protocol::CandLog);
+        assert!(candlog_x > cand_x);
+        let (b_x, _) = coordinates(Protocol::Cbndvs);
+        let (bl_x, _) = coordinates(Protocol::CbndvsLog);
+        assert!(bl_x > b_x);
+    }
+
+    #[test]
+    fn two_phase_variants_sit_above_their_base() {
+        let (_, cpvs_y) = coordinates(Protocol::Cpvs);
+        let (_, cpv2pc_y) = coordinates(Protocol::Cpv2pc);
+        assert!(cpv2pc_y > cpvs_y);
+    }
+
+    #[test]
+    fn figure3_has_all_fifteen_points() {
+        let pts = figure3_points();
+        assert_eq!(pts.len(), 15);
+        assert!(pts.iter().any(|p| p.name == "Hypervisor"));
+        assert!(pts.iter().any(|p| p.name == "Manetho"));
+        assert!(pts.iter().any(|p| p.name == "CAND"));
+    }
+
+    #[test]
+    fn trends_follow_figure_4() {
+        let origin = trends(0.0, 0.0);
+        let far = trends(0.9, 0.9);
+        assert!(origin.commit_frequency > far.commit_frequency);
+        assert!(origin.simplicity > far.simplicity);
+        assert!(origin.constrained_reexecution < far.constrained_reexecution);
+        assert!(origin.propagation_survival < far.propagation_survival);
+    }
+
+    #[test]
+    fn horizontal_axis_protocols_prevent_propagation_recovery() {
+        // §2.6: CAND, SBL, Targon/32 and Hypervisor all prevent applications
+        // from surviving propagation failures; of our executable set that is
+        // CAND, CAND-LOG, and COMMIT-ALL.
+        assert!(prevents_propagation_recovery(Protocol::Cand));
+        assert!(prevents_propagation_recovery(Protocol::CandLog));
+        assert!(prevents_propagation_recovery(Protocol::CommitAll));
+        assert!(!prevents_propagation_recovery(Protocol::Cpvs));
+        assert!(!prevents_propagation_recovery(Protocol::Cbndv2pc));
+    }
+
+    #[test]
+    fn ascii_plot_contains_all_labels() {
+        let pts = figure3_points();
+        let plot = ascii_plot(&pts, 60, 16);
+        assert!(plot.contains("CAND"));
+        assert!(plot.contains("Hypervisor"));
+        assert!(plot.contains("non-determinism"));
+        // One legend line per point.
+        assert_eq!(plot.matches(" = ").count(), pts.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "plot too small")]
+    fn ascii_plot_rejects_tiny_canvas() {
+        ascii_plot(&figure3_points(), 5, 2);
+    }
+}

@@ -1,0 +1,421 @@
+//! Traces: the recorded event history of a computation.
+//!
+//! A [`Trace`] holds the per-process event sequences of one (possibly failed
+//! and recovered) execution, with vector clocks maintained so the checkers
+//! in [`crate::savework`], [`crate::losework`], and [`crate::consistency`]
+//! can ask causal questions after the fact. Traces are built through a
+//! [`TraceBuilder`], which owns the clock discipline: ticking the executing
+//! process's component on each event, and joining the sender's clock into
+//! the receiver's on a receive.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{happens_before, VectorClock};
+use crate::event::{Event, EventId, EventKind, MsgId, NdClass, NdSource, ProcessId};
+
+/// A recorded execution of a computation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// `events[p]` is the event sequence of process `p`, in program order.
+    events: Vec<Vec<Event>>,
+}
+
+impl Trace {
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events of process `p`, in program order.
+    pub fn process(&self, p: ProcessId) -> &[Event] {
+        &self.events[p.index()]
+    }
+
+    /// Looks up an event by id.
+    pub fn get(&self, id: EventId) -> Option<&Event> {
+        self.events.get(id.pid.index())?.get(id.seq as usize)
+    }
+
+    /// Iterates over all events of all processes.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter().flatten()
+    }
+
+    /// Total number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.iter().map(Vec::len).sum()
+    }
+
+    /// True if no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Happens-before between two recorded events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is not in the trace.
+    pub fn happens_before(&self, a: EventId, b: EventId) -> bool {
+        let ea = self.get(a).expect("event a not in trace");
+        let eb = self.get(b).expect("event b not in trace");
+        happens_before(a.pid, &ea.clock, b.pid, &eb.clock)
+    }
+
+    /// All commit events of process `p`, in program order.
+    pub fn commits_of(&self, p: ProcessId) -> impl Iterator<Item = &Event> {
+        self.process(p).iter().filter(|e| e.kind.is_commit())
+    }
+
+    /// The visible-output token sequence of the whole computation, in a
+    /// global order consistent with causality (here: by interleaving
+    /// recorded order; the builder records events in execution order).
+    pub fn visible_sequence(&self) -> Vec<u64> {
+        // Events are globally ordered by the builder-assigned global seq.
+        let mut vis: Vec<(u64, u64)> = Vec::new();
+        for e in self.iter() {
+            if let EventKind::Visible { token } = e.kind {
+                vis.push((e.clock.components().iter().sum::<u64>(), token));
+            }
+        }
+        // A causal order suffices for the duplicate-equivalence check; sort
+        // by clock mass, which respects happens-before, tie-broken stably.
+        vis.sort_by_key(|&(mass, _)| mass);
+        vis.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Number of commit events across all processes.
+    pub fn total_commits(&self) -> usize {
+        self.iter().filter(|e| e.kind.is_commit()).count()
+    }
+}
+
+/// Incremental builder for a [`Trace`].
+///
+/// The builder maintains one vector clock per process and the send-side
+/// clock of every in-flight message, so receives acquire the correct causal
+/// history.
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    n: usize,
+    clocks: Vec<VectorClock>,
+    causal_clocks: Vec<VectorClock>,
+    trace: Trace,
+    /// Clocks captured at each send (happens-before, causal), keyed by
+    /// message id, consumed at recv.
+    msg_clocks: HashMap<MsgId, (VectorClock, VectorClock)>,
+    next_msg: u64,
+    next_commit: u64,
+    next_group: u64,
+}
+
+impl TraceBuilder {
+    /// Creates a builder for a computation of `n` processes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            clocks: (0..n).map(|_| VectorClock::new(n)).collect(),
+            causal_clocks: (0..n).map(|_| VectorClock::new(n)).collect(),
+            trace: Trace {
+                events: vec![Vec::new(); n],
+            },
+            msg_clocks: HashMap::new(),
+            next_msg: 0,
+            next_commit: 0,
+            next_group: 0,
+        }
+    }
+
+    fn push(&mut self, p: ProcessId, kind: EventKind, logged: bool) -> EventId {
+        self.push_grouped(p, kind, logged, None)
+    }
+
+    fn push_grouped(
+        &mut self,
+        p: ProcessId,
+        kind: EventKind,
+        logged: bool,
+        atomic_group: Option<u64>,
+    ) -> EventId {
+        assert!(p.index() < self.n, "process id out of range");
+        self.clocks[p.index()].tick(p);
+        self.causal_clocks[p.index()].tick(p);
+        let seq = self.trace.events[p.index()].len() as u64;
+        let id = EventId::new(p, seq);
+        let ev = Event {
+            id,
+            kind,
+            clock: self.clocks[p.index()].clone(),
+            causal: self.causal_clocks[p.index()].clone(),
+            logged,
+            atomic_group,
+        };
+        self.trace.events[p.index()].push(ev);
+        id
+    }
+
+    /// Records a deterministic internal event.
+    pub fn internal(&mut self, p: ProcessId) -> EventId {
+        self.push(p, EventKind::Internal, false)
+    }
+
+    /// Records a non-deterministic event from `source` with its default
+    /// classification.
+    pub fn nd(&mut self, p: ProcessId, source: NdSource) -> EventId {
+        self.nd_with(p, source, source.default_class(), false)
+    }
+
+    /// Records a non-deterministic event that has been logged (rendered
+    /// deterministic).
+    pub fn nd_logged(&mut self, p: ProcessId, source: NdSource) -> EventId {
+        self.nd_with(p, source, source.default_class(), true)
+    }
+
+    /// Records a non-deterministic event with explicit class and logging.
+    pub fn nd_with(
+        &mut self,
+        p: ProcessId,
+        source: NdSource,
+        class: NdClass,
+        logged: bool,
+    ) -> EventId {
+        self.push(p, EventKind::NonDeterministic { source, class }, logged)
+    }
+
+    /// Records a send from `from` to `to`, returning the event id and the
+    /// fresh message id the matching receive must use.
+    pub fn send(&mut self, from: ProcessId, to: ProcessId) -> (EventId, MsgId) {
+        let msg = MsgId(self.next_msg);
+        self.next_msg += 1;
+        let id = self.push(from, EventKind::Send { to, msg }, false);
+        // Capture the clocks after the send for the receive to join.
+        self.msg_clocks.insert(
+            msg,
+            (
+                self.clocks[from.index()].clone(),
+                self.causal_clocks[from.index()].clone(),
+            ),
+        );
+        (id, msg)
+    }
+
+    /// Records a *control* send from the recovery layer (e.g. a two-phase
+    /// commit prepare or ack). Control messages order events (they join the
+    /// happens-before clock at the receive) but transmit no application
+    /// state, so they do not join the causal clock and generate no
+    /// Save-work obligations.
+    pub fn send_control(&mut self, from: ProcessId, to: ProcessId) -> (EventId, MsgId) {
+        let msg = MsgId(self.next_msg);
+        self.next_msg += 1;
+        let id = self.push(from, EventKind::Send { to, msg }, true);
+        self.msg_clocks.insert(
+            msg,
+            (
+                self.clocks[from.index()].clone(),
+                self.causal_clocks[from.index()].clone(),
+            ),
+        );
+        (id, msg)
+    }
+
+    /// Records the receive of a control message: deterministic from the
+    /// application's point of view (logged), joining only the
+    /// happens-before clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg` was never sent.
+    pub fn recv_control(&mut self, to: ProcessId, from: ProcessId, msg: MsgId) -> EventId {
+        let (hb, _) = self
+            .msg_clocks
+            .get(&msg)
+            .cloned()
+            .expect("receive of a message that was never sent");
+        self.clocks[to.index()].join(&hb);
+        self.push(to, EventKind::Recv { from, msg }, true)
+    }
+
+    /// Records a receive of message `msg` (previously sent via
+    /// [`TraceBuilder::send`]) by process `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg` was never sent.
+    pub fn recv(&mut self, to: ProcessId, from: ProcessId, msg: MsgId) -> EventId {
+        self.recv_with(to, from, msg, false)
+    }
+
+    /// Records a receive whose non-determinism has been logged.
+    pub fn recv_logged(&mut self, to: ProcessId, from: ProcessId, msg: MsgId) -> EventId {
+        self.recv_with(to, from, msg, true)
+    }
+
+    fn recv_with(&mut self, to: ProcessId, from: ProcessId, msg: MsgId, logged: bool) -> EventId {
+        let (hb, causal) = self
+            .msg_clocks
+            .get(&msg)
+            .cloned()
+            .expect("receive of a message that was never sent");
+        self.clocks[to.index()].join(&hb);
+        self.causal_clocks[to.index()].join(&causal);
+        self.push(to, EventKind::Recv { from, msg }, logged)
+    }
+
+    /// Records a visible (user-observable) output event.
+    pub fn visible(&mut self, p: ProcessId, token: u64) -> EventId {
+        self.push(p, EventKind::Visible { token }, false)
+    }
+
+    /// Records a commit event, returning its id.
+    pub fn commit(&mut self, p: ProcessId) -> EventId {
+        let cid = self.next_commit;
+        self.next_commit += 1;
+        self.push(p, EventKind::Commit { commit_id: cid }, false)
+    }
+
+    /// Records a coordinated (two-phase) commit across `participants`: one
+    /// commit event per participant, all sharing an atomic group so the
+    /// Save-work checker treats them as atomic with one another.
+    ///
+    /// The caller is responsible for also recording the coordination
+    /// messages if it wants the happens-before edges they induce; the atomic
+    /// group alone is what makes the commits cover each other's
+    /// dependencies.
+    pub fn coordinated_commit(&mut self, participants: &[ProcessId]) -> Vec<EventId> {
+        let group = self.next_group;
+        self.next_group += 1;
+        participants
+            .iter()
+            .map(|&p| {
+                let cid = self.next_commit;
+                self.next_commit += 1;
+                self.push_grouped(p, EventKind::Commit { commit_id: cid }, false, Some(group))
+            })
+            .collect()
+    }
+
+    /// Records a crash event.
+    pub fn crash(&mut self, p: ProcessId) -> EventId {
+        self.push(p, EventKind::Crash, false)
+    }
+
+    /// Records a fault-activation journal marker.
+    pub fn fault_activation(&mut self, p: ProcessId, fault: u32) -> EventId {
+        self.push(p, EventKind::FaultActivation { fault }, false)
+    }
+
+    /// Records that recovery rolled `p` back to `to_seq` (its events with
+    /// sequence numbers in `[to_seq, now)` were undone).
+    pub fn rollback(&mut self, p: ProcessId, to_seq: u64) -> EventId {
+        self.push(p, EventKind::Rollback { to_seq }, false)
+    }
+
+    /// Number of events recorded so far for `p` (the next event's seq).
+    pub fn position(&self, p: ProcessId) -> u64 {
+        self.trace.events[p.index()].len() as u64
+    }
+
+    /// Finishes the trace.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+
+    /// Read access to the trace built so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn program_order_is_happens_before() {
+        let mut b = TraceBuilder::new(1);
+        let e0 = b.internal(p(0));
+        let e1 = b.visible(p(0), 42);
+        let t = b.finish();
+        assert!(t.happens_before(e0, e1));
+        assert!(!t.happens_before(e1, e0));
+    }
+
+    #[test]
+    fn message_creates_cross_process_order() {
+        let mut b = TraceBuilder::new(2);
+        let nd = b.nd(p(0), NdSource::TimeOfDay);
+        let (s, m) = b.send(p(0), p(1));
+        let r = b.recv(p(1), p(0), m);
+        let v = b.visible(p(1), 1);
+        let t = b.finish();
+        assert!(t.happens_before(nd, s));
+        assert!(t.happens_before(s, r));
+        assert!(t.happens_before(nd, v));
+    }
+
+    #[test]
+    fn unrelated_events_concurrent() {
+        let mut b = TraceBuilder::new(2);
+        let a = b.internal(p(0));
+        let c = b.internal(p(1));
+        let t = b.finish();
+        assert!(!t.happens_before(a, c));
+        assert!(!t.happens_before(c, a));
+    }
+
+    #[test]
+    #[should_panic(expected = "never sent")]
+    fn recv_of_unsent_message_panics() {
+        let mut b = TraceBuilder::new(2);
+        b.recv(p(1), p(0), MsgId(99));
+    }
+
+    #[test]
+    fn visible_sequence_orders_causally() {
+        let mut b = TraceBuilder::new(2);
+        b.visible(p(0), 10);
+        let (_, m) = b.send(p(0), p(1));
+        b.recv(p(1), p(0), m);
+        b.visible(p(1), 20);
+        let t = b.finish();
+        assert_eq!(t.visible_sequence(), vec![10, 20]);
+    }
+
+    #[test]
+    fn commit_ids_are_unique_and_counted() {
+        let mut b = TraceBuilder::new(2);
+        b.commit(p(0));
+        b.commit(p(1));
+        b.commit(p(0));
+        let t = b.finish();
+        assert_eq!(t.total_commits(), 3);
+        let ids: Vec<u64> = t
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Commit { commit_id } => Some(commit_id),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+
+    #[test]
+    fn get_and_len() {
+        let mut b = TraceBuilder::new(2);
+        let e = b.internal(p(1));
+        let t = b.finish();
+        assert_eq!(t.len(), 1);
+        assert!(t.get(e).is_some());
+        assert!(t.get(EventId::new(p(0), 0)).is_none());
+        assert_eq!(t.num_processes(), 2);
+    }
+}

@@ -1,0 +1,273 @@
+//! The interposition layer: a [`Syscalls`]/[`SysMem`] implementation that
+//! wraps the raw simulator context with Discount Checking's protocol logic.
+//!
+//! Exactly the §3 interposition set: non-deterministic syscalls
+//! (`gettimeofday`, entropy, input reads, receives, signals, `open`,
+//! `write`) are classified and possibly logged or followed by a commit;
+//! visible and send events are preceded by a local or coordinated commit
+//! when the protocol demands one. During post-recovery constrained
+//! re-execution, a commit-after-nd checkpoint's pending result is served
+//! back to the first matching syscall.
+
+use ft_core::event::{NdSource, ProcessId};
+use ft_core::protocol::{CommitScope, InterceptedEvent};
+use ft_mem::cost::ND_LOG_RECORD_NS;
+use ft_mem::mem::Mem;
+use ft_sim::cost::SimTime;
+use ft_sim::sim::SysCtx;
+use ft_sim::syscalls::{Message, SysMem, SysResult, Syscalls};
+
+use crate::runtime::DcRuntime;
+use crate::state::PendingNd;
+
+/// The checkpointing syscall wrapper for one step of one process.
+pub struct DcSys<'a, 'b> {
+    ctx: &'a mut SysCtx<'b>,
+    rt: &'a mut DcRuntime,
+}
+
+impl<'a, 'b> DcSys<'a, 'b> {
+    /// Wraps a raw context with the runtime.
+    pub fn new(ctx: &'a mut SysCtx<'b>, rt: &'a mut DcRuntime) -> Self {
+        DcSys { ctx, rt }
+    }
+
+    fn me(&self) -> ProcessId {
+        self.ctx.pid()
+    }
+
+    /// Serves a replayed nd result: records it as a logged (deterministic)
+    /// event and charges the log-read cost (reads are memory-speed on both
+    /// media — the log tail is cached).
+    fn record_replayed(&mut self, source: NdSource) {
+        let pid = self.me();
+        self.ctx.sim_mut().tracer_mut().nd_logged(pid, source);
+        self.ctx.charge(ND_LOG_RECORD_NS);
+    }
+
+    /// Post-nd bookkeeping: dirty/dependency tracking, log accounting, and
+    /// the CAND-family commit-after (which captures the nd's result as the
+    /// pending value).
+    fn after_nd(&mut self, source: NdSource, pending: PendingNd) {
+        let pid = self.me();
+        let logged = self.rt.protocol().logs(source);
+        let st = self.rt.state_mut(pid);
+        let d = st.planner.decide(InterceptedEvent::Nd { source });
+        debug_assert_eq!(d.log, logged);
+        if logged {
+            st.stats.logged_events += 1;
+            let cost = self.rt.cfg().medium.log_record_cost(64);
+            self.ctx.charge(cost);
+        } else {
+            st.tracker.on_nd();
+        }
+        if d.after {
+            self.rt.local_commit(self.ctx, Some(pending));
+        }
+    }
+}
+
+impl Syscalls for DcSys<'_, '_> {
+    fn pid(&self) -> ProcessId {
+        self.ctx.pid()
+    }
+
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn compute(&mut self, ns: SimTime) {
+        self.ctx.compute(ns);
+    }
+
+    fn gettimeofday(&mut self) -> SimTime {
+        if let Some(PendingNd::Time(v)) = self
+            .rt
+            .take_replay(self.me(), |p| matches!(p, PendingNd::Time(_)))
+        {
+            self.record_replayed(NdSource::TimeOfDay);
+            return v;
+        }
+        self.ctx
+            .set_log_next(self.rt.protocol().logs(NdSource::TimeOfDay));
+        let v = self.ctx.gettimeofday();
+        self.after_nd(NdSource::TimeOfDay, PendingNd::Time(v));
+        v
+    }
+
+    fn random(&mut self) -> u64 {
+        if let Some(PendingNd::Rand(v)) = self
+            .rt
+            .take_replay(self.me(), |p| matches!(p, PendingNd::Rand(_)))
+        {
+            self.record_replayed(NdSource::Random);
+            return v;
+        }
+        self.ctx
+            .set_log_next(self.rt.protocol().logs(NdSource::Random));
+        let v = self.ctx.random();
+        self.after_nd(NdSource::Random, PendingNd::Rand(v));
+        v
+    }
+
+    fn read_input(&mut self) -> Option<Vec<u8>> {
+        if let Some(PendingNd::Input(v)) = self
+            .rt
+            .take_replay(self.me(), |p| matches!(p, PendingNd::Input(_)))
+        {
+            self.record_replayed(NdSource::UserInput);
+            return Some(v);
+        }
+        self.ctx
+            .set_log_next(self.rt.protocol().logs(NdSource::UserInput));
+        match self.ctx.read_input() {
+            None => {
+                self.ctx.set_log_next(false);
+                None
+            }
+            Some(bytes) => {
+                self.after_nd(NdSource::UserInput, PendingNd::Input(bytes.clone()));
+                Some(bytes)
+            }
+        }
+    }
+
+    fn input_exhausted(&self) -> bool {
+        self.ctx.input_exhausted()
+    }
+
+    fn send(&mut self, to: ProcessId, payload: Vec<u8>) -> SysResult<()> {
+        let pid = self.me();
+        let d = self
+            .rt
+            .state_mut(pid)
+            .planner
+            .decide(InterceptedEvent::Send);
+        if d.before == CommitScope::Local {
+            self.rt.local_commit(self.ctx, None);
+        }
+        let st = self.rt.state(pid);
+        let (deps, tainted) = (st.tracker.snapshot(), st.planner.is_dirty());
+        self.ctx.set_send_meta(deps, tainted);
+        self.ctx.send(to, payload)
+    }
+
+    fn try_recv(&mut self) -> Option<Message> {
+        if let Some(PendingNd::Recv(m)) = self
+            .rt
+            .take_replay(self.me(), |p| matches!(p, PendingNd::Recv(_)))
+        {
+            self.record_replayed(NdSource::MessageRecv);
+            return Some(m);
+        }
+        let logged = self.rt.protocol().logs(NdSource::MessageRecv);
+        self.ctx.set_log_next(logged);
+        match self.ctx.try_recv() {
+            None => {
+                self.ctx.set_log_next(false);
+                None
+            }
+            Some(msg) => {
+                let pid = self.me();
+                let st = self.rt.state_mut(pid);
+                st.tracker.on_recv(&msg.deps, logged);
+                if msg.tainted {
+                    // A dependence on the sender's uncommitted
+                    // non-determinism flowed in; a dirty bit alone would
+                    // miss it under logging.
+                    st.planner.note_tainted();
+                }
+                self.after_nd(NdSource::MessageRecv, PendingNd::Recv(msg.clone()));
+                Some(msg)
+            }
+        }
+    }
+
+    fn visible(&mut self, token: u64) {
+        let pid = self.me();
+        let d = self
+            .rt
+            .state_mut(pid)
+            .planner
+            .decide(InterceptedEvent::Visible);
+        match d.before {
+            CommitScope::Local => self.rt.local_commit(self.ctx, None),
+            CommitScope::Coordinated => self.rt.coordinated_commit(self.ctx),
+            CommitScope::None => {}
+        }
+        self.ctx.visible(token);
+    }
+
+    fn take_signal(&mut self) -> Option<u32> {
+        if let Some(PendingNd::Signal(s)) = self
+            .rt
+            .take_replay(self.me(), |p| matches!(p, PendingNd::Signal(_)))
+        {
+            self.record_replayed(NdSource::Signal);
+            return Some(s);
+        }
+        self.ctx
+            .set_log_next(self.rt.protocol().logs(NdSource::Signal));
+        match self.ctx.take_signal() {
+            None => {
+                self.ctx.set_log_next(false);
+                None
+            }
+            Some(signo) => {
+                self.after_nd(NdSource::Signal, PendingNd::Signal(signo));
+                Some(signo)
+            }
+        }
+    }
+
+    fn open(&mut self, name: &str) -> SysResult<u32> {
+        if let Some(PendingNd::OpenFd(r)) = self
+            .rt
+            .take_replay(self.me(), |p| matches!(p, PendingNd::OpenFd(_)))
+        {
+            self.record_replayed(NdSource::ResourceProbe);
+            return r;
+        }
+        self.ctx
+            .set_log_next(self.rt.protocol().logs(NdSource::ResourceProbe));
+        let r = self.ctx.open(name);
+        self.after_nd(NdSource::ResourceProbe, PendingNd::OpenFd(r));
+        r
+    }
+
+    fn write_file(&mut self, fd: u32, bytes: &[u8]) -> SysResult<()> {
+        if let Some(PendingNd::WriteRes(r)) = self
+            .rt
+            .take_replay(self.me(), |p| matches!(p, PendingNd::WriteRes(_)))
+        {
+            // The write's kernel effect is inside the committed kernel
+            // snapshot; only the result is replayed.
+            self.record_replayed(NdSource::ResourceProbe);
+            return r;
+        }
+        self.ctx
+            .set_log_next(self.rt.protocol().logs(NdSource::ResourceProbe));
+        let r = self.ctx.write_file(fd, bytes);
+        self.after_nd(NdSource::ResourceProbe, PendingNd::WriteRes(r));
+        r
+    }
+
+    fn read_file(&mut self, fd: u32, len: usize) -> SysResult<Vec<u8>> {
+        self.ctx.read_file(fd, len)
+    }
+
+    fn close(&mut self, fd: u32) -> SysResult<()> {
+        self.ctx.close(fd)
+    }
+
+    fn note_fault_activation(&mut self, fault: u32) {
+        self.ctx.note_fault_activation(fault);
+    }
+}
+
+impl SysMem for DcSys<'_, '_> {
+    fn mem(&mut self) -> &mut Mem {
+        let pid = self.ctx.pid();
+        &mut self.rt.state_mut(pid).mem
+    }
+}

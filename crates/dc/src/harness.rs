@@ -1,0 +1,162 @@
+//! The Discount Checking harness: runs applications under a recovery
+//! protocol, handles stop failures and crashes with rollback + constrained
+//! re-execution, and reports the metrics Figure 8 and Tables 1–2 need.
+
+use ft_core::event::ProcessId;
+use ft_core::trace::Trace;
+use ft_mem::cost::COW_TRAP_NS;
+use ft_mem::mem::Mem;
+use ft_sim::cost::SimTime;
+use ft_sim::sim::{Simulator, StepOutcome, Wake};
+use ft_sim::syscalls::App;
+
+use crate::dcsys::DcSys;
+use crate::runtime::DcRuntime;
+use crate::state::{DcConfig, DcStats};
+
+/// Result of a run under the recovery runtime.
+#[derive(Debug)]
+pub struct DcReport {
+    /// Recorded event trace (including commits, crashes, recoveries'
+    /// re-executed events).
+    pub trace: Trace,
+    /// Visible outputs in real-time order (duplicates from re-execution
+    /// included): (time, process, token).
+    pub visibles: Vec<(SimTime, ProcessId, u64)>,
+    /// Final simulated time.
+    pub runtime: SimTime,
+    /// True if every process ran to completion.
+    pub all_done: bool,
+    /// Per-process commit counts.
+    pub commits_per_proc: Vec<u64>,
+    /// Aggregate runtime statistics.
+    pub totals: DcStats,
+    /// Number of failures that exhausted the recovery budget (the run
+    /// could not be completed — a Lose-work casualty).
+    pub abandoned: u32,
+}
+
+impl DcReport {
+    /// Total commits across all processes.
+    pub fn total_commits(&self) -> u64 {
+        self.commits_per_proc.iter().sum()
+    }
+
+    /// Visible token sequence (in output order).
+    pub fn visible_tokens(&self) -> Vec<u64> {
+        self.visibles.iter().map(|&(_, _, t)| t).collect()
+    }
+}
+
+/// The harness: simulator + runtime + applications.
+pub struct DcHarness {
+    /// The simulated testbed (configure scripts/signals/kills before
+    /// running).
+    pub sim: Simulator,
+    /// The recovery runtime.
+    pub rt: DcRuntime,
+    apps: Vec<Box<dyn App>>,
+    recovery_attempts: Vec<u32>,
+    last_traps: Vec<u64>,
+    abandoned: u32,
+}
+
+impl DcHarness {
+    /// Builds a harness over a pre-configured simulator.
+    pub fn new(sim: Simulator, cfg: DcConfig, apps: Vec<Box<dyn App>>) -> Self {
+        let mems: Vec<Mem> = apps.iter().map(|a| Mem::new(a.layout())).collect();
+        let rt = DcRuntime::new(cfg, &sim, mems);
+        let n = apps.len();
+        DcHarness {
+            sim,
+            rt,
+            apps,
+            recovery_attempts: vec![0; n],
+            last_traps: vec![0; n],
+            abandoned: 0,
+        }
+    }
+
+    /// Runs one scheduler step for `pid`, charging copy-on-write traps.
+    fn step_process(&mut self, pid: ProcessId) -> StepOutcome {
+        let p = pid.index();
+        let mut ctx = self.sim.ctx(pid);
+        let mut sys = DcSys::new(&mut ctx, &mut self.rt);
+        let st = self.apps[p].step(&mut sys);
+        let mut el = ctx.elapsed();
+        drop(ctx);
+        // Each first-touch of a clean page cost a protection trap.
+        let traps = self.rt.state(pid).mem.arena.stats().traps;
+        el += (traps - self.last_traps[p]) * COW_TRAP_NS;
+        self.last_traps[p] = traps;
+        self.sim.finish_step(pid, st, el)
+    }
+
+    fn handle_failure(&mut self, pid: ProcessId) {
+        let p = pid.index();
+        self.recovery_attempts[p] += 1;
+        if self.recovery_attempts[p] > self.rt.cfg().max_recoveries {
+            // Give up: the process stays dead (e.g. a Lose-work violation
+            // re-crashing on every recovery).
+            self.abandoned += 1;
+            return;
+        }
+        let delay = self.rt.cfg().reboot_delay_ns;
+        let rolled = self.rt.recover(pid, &mut self.sim);
+        for q in rolled {
+            self.apps[q.index()].on_recovered();
+            if q == pid {
+                self.sim.respawn(pid, delay);
+            } else {
+                // Cascade victims were not killed; wake them so they
+                // re-evaluate from their rolled-back state.
+                self.sim.reactivate(q);
+            }
+        }
+    }
+
+    /// Runs to completion (or deadlock / abandonment), recovering failed
+    /// processes automatically and firing periodic coordinated rounds when
+    /// configured.
+    pub fn run(mut self) -> DcReport {
+        let mut guard = 0u64;
+        let period = self.rt.cfg().periodic_checkpoint_ns;
+        let mut next_round = period.unwrap_or(u64::MAX);
+        while let Some(wake) = self.sim.next_wake() {
+            guard += 1;
+            assert!(guard < 200_000_000, "runaway simulation");
+            if self.sim.now() >= next_round {
+                self.rt.periodic_round(&mut self.sim);
+                let p = period.expect("period configured");
+                while next_round <= self.sim.now() {
+                    next_round += p;
+                }
+            }
+            match wake {
+                Wake::Step(pid) => {
+                    if let StepOutcome::Crashed(_) = self.step_process(pid) {
+                        self.handle_failure(pid);
+                    }
+                }
+                Wake::Killed(pid) => self.handle_failure(pid),
+            }
+        }
+        let n = self.apps.len();
+        let all_done = (0..n).all(|p| self.sim.is_done(ProcessId(p as u32)));
+        let commits_per_proc = (0..n)
+            .map(|p| self.rt.state(ProcessId(p as u32)).stats.commits)
+            .collect();
+        let totals = self.rt.total_stats();
+        let runtime = self.sim.now();
+        let (trace, visibles, _) = self.sim.finish();
+        DcReport {
+            trace,
+            visibles,
+            runtime,
+            all_done,
+            commits_per_proc,
+            totals,
+            abandoned: self.abandoned,
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # ft-dc — Discount Checking
+//!
+//! The recovery runtime of §3, rebuilt over the simulated testbed:
+//! lightweight full-process checkpointing with syscall interposition,
+//! implementing the seven Save-work protocols of Figure 8 (CAND, CAND-LOG,
+//! CPVS, CBNDVS, CBNDVS-LOG, CPV-2PC, CBNDV-2PC) on two media (Rio reliable
+//! memory = Discount Checking; synchronous disk = DC-disk).
+//!
+//! * [`state`] — configuration, per-process state, committed snapshots,
+//!   and pending non-deterministic results (the saved-program-counter
+//!   analogue for commit-after-nd checkpoints);
+//! * [`runtime`] — commits (local and two-phase-coordinated with
+//!   dependency-closure participant selection), rollback, kernel-state
+//!   reconstruction, message-replay cursors, and cascading rollback of
+//!   processes that consumed withdrawn tainted messages;
+//! * [`dcsys`] — the interposition layer ([`DcSys`]) wrapping the raw
+//!   simulator syscalls;
+//! * [`harness`] — the run loop with automatic recovery and reporting.
+//!
+//! ## Example: failure transparency for a stop failure
+//!
+//! Run an application under CPVS, kill it mid-run, and observe that the
+//! visible output is consistent (the user cannot tell, §2.3) — see the
+//! crate's integration tests and the workspace examples for full scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dcsys;
+pub mod harness;
+pub mod runtime;
+pub mod state;
+
+pub use dcsys::DcSys;
+pub use harness::{DcHarness, DcReport};
+pub use runtime::DcRuntime;
+pub use state::{DcConfig, DcStats, PendingNd};

@@ -1,0 +1,229 @@
+//! The recovery runtime core: commits, snapshots, rollback, and cascades.
+
+use ft_core::event::ProcessId;
+use ft_core::protocol::{coordinated_participants, CommitPlanner, DepTracker, Protocol};
+use ft_sim::cost::SimTime;
+use ft_sim::sim::{Simulator, SysCtx};
+use ft_sim::syscalls::Syscalls;
+
+use crate::state::{
+    decode_alloc, encode_alloc, CommittedState, DcConfig, DcStats, PendingNd, ProcState,
+};
+
+/// The Discount Checking runtime for one computation: per-process state
+/// plus the configured protocol and medium.
+#[derive(Debug)]
+pub struct DcRuntime {
+    cfg: DcConfig,
+    states: Vec<ProcState>,
+}
+
+impl DcRuntime {
+    /// Builds the runtime, taking each process's initial snapshot.
+    pub fn new(cfg: DcConfig, sim: &Simulator, mems: Vec<ft_mem::mem::Mem>) -> Self {
+        let states = mems
+            .into_iter()
+            .enumerate()
+            .map(|(p, mem)| {
+                let kernel = sim.kernel_of(ProcessId(p as u32)).clone();
+                ProcState::new(p as u32, cfg.protocol, mem, kernel)
+            })
+            .collect();
+        DcRuntime { cfg, states }
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> &DcConfig {
+        &self.cfg
+    }
+
+    /// The configured protocol.
+    pub fn protocol(&self) -> Protocol {
+        self.cfg.protocol
+    }
+
+    /// A process's state.
+    pub fn state(&self, pid: ProcessId) -> &ProcState {
+        &self.states[pid.index()]
+    }
+
+    /// Mutable access to a process's state.
+    pub fn state_mut(&mut self, pid: ProcessId) -> &mut ProcState {
+        &mut self.states[pid.index()]
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the runtime covers no processes.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Aggregate statistics.
+    pub fn total_stats(&self) -> DcStats {
+        let mut t = DcStats::default();
+        for s in &self.states {
+            t.commits += s.stats.commits;
+            t.logged_events += s.stats.logged_events;
+            t.recoveries += s.stats.recoveries;
+            t.cascade_rollbacks += s.stats.cascade_rollbacks;
+            t.commit_time_ns += s.stats.commit_time_ns;
+        }
+        t
+    }
+
+    /// Commits `pid`'s arena and snapshots its recoverable context, without
+    /// recording the trace event (the caller does). Returns the commit's
+    /// time cost.
+    pub fn commit_arena(
+        &mut self,
+        pid: ProcessId,
+        sim: &Simulator,
+        pending: Option<PendingNd>,
+    ) -> SimTime {
+        let st = &mut self.states[pid.index()];
+        let alloc_blob = encode_alloc(&st.mem.alloc);
+        let mut rec = st.mem.arena.commit();
+        // Register file + runtime control block alongside the pages.
+        rec.register_bytes = alloc_blob.len() + 128;
+        let cost = self.cfg.medium.commit_cost(&rec);
+        st.committed = CommittedState {
+            alloc_blob,
+            input_cursor: sim.input_cursor(pid),
+            signal_cursor: sim.signal_cursor(pid),
+            send_seqs: sim.send_seqs(pid),
+            consumed: sim.network().consumed_counts(pid),
+            kernel: sim.kernel_of(pid).clone(),
+            pending_nd: pending,
+            // The commit event itself is recorded right after this
+            // snapshot, so everything up to and including it survives a
+            // rollback here.
+            trace_pos: sim.trace_position(pid) + 1,
+        };
+        st.replay = None;
+        st.planner.note_committed();
+        st.tracker.clear();
+        st.stats.commits += 1;
+        st.stats.commit_time_ns += cost;
+        cost
+    }
+
+    /// A local commit at an interposition point: commits the arena,
+    /// records the commit event, and charges its cost to the running
+    /// process.
+    pub fn local_commit(&mut self, ctx: &mut SysCtx<'_>, pending: Option<PendingNd>) {
+        let pid = ctx.pid();
+        let cost = self.commit_arena(pid, ctx.sim(), pending);
+        ctx.record_commit(cost);
+    }
+
+    /// A coordinated (two-phase) commit round triggered by the running
+    /// process: selects participants (everyone under CPV-2PC, the
+    /// dependency closure under CBNDV-2PC), commits each, and records the
+    /// round with its control edges and time costs.
+    pub fn coordinated_commit(&mut self, ctx: &mut SysCtx<'_>) {
+        let me = ctx.pid();
+        let participants: Vec<ProcessId> = if self.cfg.protocol == Protocol::Cpv2pc {
+            (0..self.states.len())
+                .map(|q| ProcessId(q as u32))
+                .collect()
+        } else {
+            let trackers: Vec<DepTracker> = self.states.iter().map(|s| s.tracker.clone()).collect();
+            coordinated_participants(&trackers, me.0)
+                .into_iter()
+                .map(ProcessId)
+                .collect()
+        };
+        let costs: Vec<SimTime> = participants
+            .iter()
+            .map(|&q| self.commit_arena(q, ctx.sim(), None))
+            .collect();
+        ctx.record_coordinated_commit(&participants, &costs);
+    }
+
+    /// A periodic coordinated checkpoint round: every live process commits
+    /// atomically (a consistent cut), each charged its own commit cost.
+    /// Used by the harness when `periodic_checkpoint_ns` is configured.
+    pub fn periodic_round(&mut self, sim: &mut Simulator) {
+        let participants: Vec<ProcessId> = (0..self.states.len())
+            .map(|q| ProcessId(q as u32))
+            .filter(|&q| !sim.is_done(q) && !sim.is_crashed(q))
+            .collect();
+        if participants.is_empty() {
+            return;
+        }
+        let costs: Vec<SimTime> = participants
+            .iter()
+            .map(|&q| self.commit_arena(q, sim, None))
+            .collect();
+        sim.tracer_mut().coordinated_commit(&participants);
+        for (&q, &c) in participants.iter().zip(&costs) {
+            sim.count_commit(q);
+            sim.delay_process(q, c);
+            self.states[q.index()].planner.note_committed();
+            self.states[q.index()].tracker.clear();
+        }
+    }
+
+    /// Recovers `pid` after a failure: rolls its memory back to the last
+    /// commit, restores its allocator, cursors, send counters, consumption
+    /// pointers, and kernel snapshot, arms constrained re-execution, and
+    /// cascades rollback to any process that consumed a withdrawn tainted
+    /// message. Returns the set of processes rolled back (always including
+    /// `pid`).
+    pub fn recover(&mut self, pid: ProcessId, sim: &mut Simulator) -> Vec<ProcessId> {
+        let mut rolled = Vec::new();
+        let mut work = vec![pid];
+        while let Some(q) = work.pop() {
+            if rolled.contains(&q) {
+                continue;
+            }
+            rolled.push(q);
+            let protocol = self.cfg.protocol;
+            let st = &mut self.states[q.index()];
+            // Journal the rollback: events after the committed trace
+            // position are causally dead for everything that follows.
+            sim.tracer_mut().rollback(q, st.committed.trace_pos);
+            st.mem.arena.rollback();
+            st.mem.alloc = decode_alloc(&st.committed.alloc_blob);
+            sim.set_input_cursor(q, st.committed.input_cursor);
+            sim.set_signal_cursor(q, st.committed.signal_cursor);
+            sim.set_send_seqs(q, st.committed.send_seqs.clone());
+            sim.restore_kernel(q, st.committed.kernel.clone());
+            sim.network_mut().rewind_receiver(q, &st.committed.consumed);
+            // The failed process lost events after its last commit; any
+            // tainted message it sent in that window is withdrawn, and
+            // receivers that already consumed one must roll back too.
+            let cascade = sim
+                .network_mut()
+                .withdraw_tainted(q, &st.committed.send_seqs);
+            st.planner = CommitPlanner::new(protocol);
+            st.tracker = DepTracker::new(q.0);
+            st.replay = st.committed.pending_nd.clone();
+            if q == pid {
+                st.stats.recoveries += 1;
+            } else {
+                st.stats.cascade_rollbacks += 1;
+            }
+            work.extend(cascade);
+        }
+        rolled
+    }
+
+    /// Takes the armed replay value for `pid` if `matches` accepts it.
+    pub fn take_replay(
+        &mut self,
+        pid: ProcessId,
+        matches: impl FnOnce(&PendingNd) -> bool,
+    ) -> Option<PendingNd> {
+        let st = &mut self.states[pid.index()];
+        if st.replay.as_ref().is_some_and(matches) {
+            st.replay.take()
+        } else {
+            None
+        }
+    }
+}

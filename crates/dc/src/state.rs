@@ -1,0 +1,209 @@
+//! Per-process recovery-runtime state: configuration, committed snapshots,
+//! and pending non-deterministic results.
+
+use std::collections::HashMap;
+
+use ft_core::protocol::{CommitPlanner, DepTracker, Protocol};
+use ft_mem::cost::Medium;
+use ft_mem::mem::Mem;
+use ft_sim::cost::SimTime;
+use ft_sim::kernel::Kernel;
+use ft_sim::syscalls::{Message, SysResult};
+use serde::{Deserialize, Serialize};
+
+/// Discount Checking configuration.
+#[derive(Debug, Clone)]
+pub struct DcConfig {
+    /// The Save-work protocol to run.
+    pub protocol: Protocol,
+    /// Checkpoint medium: Rio (Discount Checking) or synchronous disk
+    /// (DC-disk).
+    pub medium: Medium,
+    /// Delay charged between a failure and the recovered process resuming
+    /// (reboot + rollback).
+    pub reboot_delay_ns: SimTime,
+    /// Give up recovering a process after this many attempts (a run that
+    /// violates Lose-work re-crashes forever).
+    pub max_recoveries: u32,
+    /// Koo–Toueg-style periodic coordinated checkpointing: every interval,
+    /// all live processes commit atomically. Bounds rollback distance (and
+    /// with it re-execution time) for protocols that otherwise commit
+    /// rarely — the "Coordinated checkpointing" point of Figure 3.
+    pub periodic_checkpoint_ns: Option<SimTime>,
+}
+
+impl DcConfig {
+    /// Discount Checking (Rio) with the given protocol.
+    pub fn discount_checking(protocol: Protocol) -> Self {
+        DcConfig {
+            protocol,
+            medium: Medium::discount_checking(),
+            reboot_delay_ns: 50 * ft_sim::MS,
+            max_recoveries: 3,
+            periodic_checkpoint_ns: None,
+        }
+    }
+
+    /// DC-disk with the given protocol.
+    pub fn dc_disk(protocol: Protocol) -> Self {
+        DcConfig {
+            medium: Medium::dc_disk(),
+            ..DcConfig::discount_checking(protocol)
+        }
+    }
+}
+
+/// A non-deterministic result captured by a commit executed immediately
+/// after the event (CAND-family protocols): the analogue of the saved
+/// program counter sitting inside the interposed syscall. Consumed by the
+/// first matching syscall during post-recovery re-execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PendingNd {
+    /// A user-input read.
+    Input(Vec<u8>),
+    /// A message receive.
+    Recv(Message),
+    /// A `gettimeofday` result.
+    Time(u64),
+    /// An entropy draw.
+    Rand(u64),
+    /// A delivered signal.
+    Signal(u32),
+    /// An `open` result.
+    OpenFd(SysResult<u32>),
+    /// A `write` result.
+    WriteRes(SysResult<()>),
+}
+
+/// Everything needed to restore a process to its last committed state.
+#[derive(Debug, Clone)]
+pub struct CommittedState {
+    /// Serialized heap allocator (the "register file" blob).
+    pub alloc_blob: Vec<u8>,
+    /// Input-script position.
+    pub input_cursor: usize,
+    /// Signal-schedule position.
+    pub signal_cursor: usize,
+    /// Per-channel send counters.
+    pub send_seqs: HashMap<u32, u64>,
+    /// Per-sender consumed-message counts.
+    pub consumed: HashMap<u32, usize>,
+    /// Kernel state snapshot (reconstructed on recovery, §3).
+    pub kernel: Kernel,
+    /// A commit-after-nd result to replay.
+    pub pending_nd: Option<PendingNd>,
+    /// The process's trace position at commit time: events at or beyond
+    /// this sequence are undone by a rollback to this snapshot.
+    pub trace_pos: u64,
+}
+
+/// Per-process runtime statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DcStats {
+    /// Commits executed (local + coordinated participations).
+    pub commits: u64,
+    /// Events rendered deterministic by logging.
+    pub logged_events: u64,
+    /// Recoveries performed (rollback + restore).
+    pub recoveries: u64,
+    /// Rollbacks performed as a cascade victim of another process's
+    /// failure.
+    pub cascade_rollbacks: u64,
+    /// Total simulated time spent in commits.
+    pub commit_time_ns: u64,
+}
+
+/// One process's recovery-runtime state.
+#[derive(Debug)]
+pub struct ProcState {
+    /// The process's recoverable memory.
+    pub mem: Mem,
+    /// Protocol commit planner.
+    pub planner: CommitPlanner,
+    /// Cross-process dependency tracker (2PC participant selection).
+    pub tracker: DepTracker,
+    /// Last committed snapshot.
+    pub committed: CommittedState,
+    /// Armed during recovery: the pending nd result to serve to the first
+    /// matching syscall of the constrained re-execution.
+    pub replay: Option<PendingNd>,
+    /// Statistics.
+    pub stats: DcStats,
+}
+
+impl ProcState {
+    /// Creates a process state with its initial snapshot (the initial state
+    /// of any application is always committed, §4).
+    pub fn new(pid: u32, protocol: Protocol, mut mem: Mem, kernel: Kernel) -> Self {
+        mem.arena.commit();
+        let alloc_blob = encode_alloc(&mem.alloc);
+        ProcState {
+            mem,
+            planner: CommitPlanner::new(protocol),
+            tracker: DepTracker::new(pid),
+            committed: CommittedState {
+                alloc_blob,
+                input_cursor: 0,
+                signal_cursor: 0,
+                send_seqs: HashMap::new(),
+                consumed: HashMap::new(),
+                kernel,
+                pending_nd: None,
+                trace_pos: 0,
+            },
+            replay: None,
+            stats: DcStats::default(),
+        }
+    }
+}
+
+/// Serializes the allocator for the committed register/control blob.
+pub fn encode_alloc(alloc: &ft_mem::alloc::Allocator) -> Vec<u8> {
+    bincode::serde::encode_to_vec(alloc, bincode::config::standard())
+        .expect("allocator serialization cannot fail")
+}
+
+/// Deserializes a committed allocator blob.
+pub fn decode_alloc(blob: &[u8]) -> ft_mem::alloc::Allocator {
+    bincode::serde::decode_from_slice(blob, bincode::config::standard())
+        .expect("committed allocator blob is well-formed")
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_mem::arena::Layout;
+
+    #[test]
+    fn alloc_blob_roundtrip() {
+        let mut mem = Mem::new(Layout::small());
+        let a = mem.alloc.alloc(&mut mem.arena, 64).unwrap();
+        mem.alloc.alloc(&mut mem.arena, 32).unwrap();
+        mem.alloc.free(&mem.arena, a).unwrap();
+        let blob = encode_alloc(&mem.alloc);
+        let restored = decode_alloc(&blob);
+        assert_eq!(restored.live_count(), mem.alloc.live_count());
+        assert_eq!(restored.live_bytes(), mem.alloc.live_bytes());
+    }
+
+    #[test]
+    fn proc_state_initial_snapshot_is_clean() {
+        let mem = Mem::new(Layout::small());
+        let kernel = Kernel::new(8, 1000, 0);
+        let st = ProcState::new(0, Protocol::Cpvs, mem, kernel);
+        assert!(st.committed.pending_nd.is_none());
+        assert_eq!(st.committed.input_cursor, 0);
+        assert!(!st.planner.is_dirty());
+        assert_eq!(st.mem.arena.dirty_page_count(), 0);
+    }
+
+    #[test]
+    fn configs() {
+        let dc = DcConfig::discount_checking(Protocol::Cand);
+        assert_eq!(dc.medium.name(), "Discount Checking");
+        let disk = DcConfig::dc_disk(Protocol::Cand);
+        assert_eq!(disk.medium.name(), "DC-disk");
+        assert_eq!(disk.max_recoveries, 3);
+    }
+}

@@ -1,0 +1,252 @@
+//! Focused runtime tests: committed-snapshot contents, kernel
+//! reconstruction, pending-nd capture, and file-state recovery.
+
+use ft_core::event::ProcessId;
+use ft_core::protocol::Protocol;
+use ft_dc::harness::DcHarness;
+use ft_dc::state::DcConfig;
+use ft_mem::error::MemResult;
+use ft_mem::mem::ArenaCell;
+use ft_sim::harness::run_plain_on;
+use ft_sim::script::InputScript;
+use ft_sim::sim::{SimConfig, Simulator};
+use ft_sim::syscalls::{App, AppStatus, SysMem, WaitCond};
+use ft_sim::MS;
+
+/// Writes each input byte to a file, then echoes a running file checksum
+/// read *back* from the kernel — so recovered kernel file state is
+/// directly observable in the visible output.
+struct FileEcho;
+
+const PHASE: ArenaCell<u64> = ArenaCell::at(0);
+const FD: ArenaCell<u64> = ArenaCell::at(8);
+const STAGED: ArenaCell<u64> = ArenaCell::at(16);
+const WRITTEN: ArenaCell<u64> = ArenaCell::at(24);
+
+impl App for FileEcho {
+    fn step(&mut self, sys: &mut dyn SysMem) -> MemResult<AppStatus> {
+        match PHASE.get(&sys.mem().arena)? {
+            0 => {
+                let fd = sys.open("journal").expect("open");
+                let m = sys.mem();
+                FD.set(&mut m.arena, fd as u64)?;
+                PHASE.set(&mut m.arena, 1)?;
+                Ok(AppStatus::Running)
+            }
+            1 => {
+                if let Some(bytes) = sys.read_input() {
+                    let m = sys.mem();
+                    STAGED.set(&mut m.arena, bytes[0] as u64)?;
+                    PHASE.set(&mut m.arena, 2)?;
+                    Ok(AppStatus::Running)
+                } else if sys.input_exhausted() {
+                    Ok(AppStatus::Done)
+                } else {
+                    Ok(AppStatus::Blocked(WaitCond::input()))
+                }
+            }
+            2 => {
+                let fd = FD.get(&sys.mem().arena)? as u32;
+                let k = STAGED.get(&sys.mem().arena)? as u8;
+                sys.write_file(fd, &[k]).expect("write");
+                let m = sys.mem();
+                let w = WRITTEN.get(&m.arena)? + 1;
+                WRITTEN.set(&mut m.arena, w)?;
+                PHASE.set(&mut m.arena, 3)?;
+                Ok(AppStatus::Running)
+            }
+            3 => {
+                // Read the journal's new bytes back (read_file advances
+                // the kernel file position — it is this step's one
+                // state-mutating syscall) and stash a checksum.
+                let fd = FD.get(&sys.mem().arena)? as u32;
+                let w = WRITTEN.get(&sys.mem().arena)?;
+                let data = sys.read_file(fd, 4096).expect("read");
+                let mut h = 0xcbf29ce484222325u64 ^ w;
+                for b in &data {
+                    h ^= *b as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+                h ^= data.len() as u64;
+                let m = sys.mem();
+                STAGED.set(&mut m.arena, h)?;
+                PHASE.set(&mut m.arena, 4)?;
+                Ok(AppStatus::Running)
+            }
+            _ => {
+                // Echo the checksum: if recovery mangled kernel file state
+                // (duplicate or missing appends, a wrong file position),
+                // the token diverges from the reference run.
+                let h = STAGED.get(&sys.mem().arena)?;
+                sys.visible(h);
+                PHASE.set(&mut sys.mem().arena, 1)?;
+                Ok(AppStatus::Running)
+            }
+        }
+    }
+}
+
+fn build(seed: u64, n: usize) -> (Simulator, Vec<Box<dyn App>>) {
+    let mut sim = Simulator::new(SimConfig::single_node(1, seed));
+    sim.set_input_script(
+        ProcessId(0),
+        InputScript::evenly_spaced(0, MS, (0..n).map(|i| vec![b'a' + (i % 26) as u8]).collect()),
+    );
+    (sim, vec![Box::new(FileEcho)])
+}
+
+// A quirk of reading the file back: `read_file` advances the kernel file
+// position, which is itself kernel state the snapshot covers — so this
+// workload stresses position recovery too.
+
+#[test]
+fn kernel_file_state_recovers_exactly() {
+    let (sim, mut apps) = build(3, 25);
+    let reference = run_plain_on(sim, &mut apps);
+    assert!(reference.all_done);
+    let ref_tokens: Vec<u64> = reference.visibles.iter().map(|&(_, _, t)| t).collect();
+
+    for kill_ms in [3u64, 7, 11, 16, 21] {
+        let (mut sim, apps) = build(3, 25);
+        sim.kill_at(ProcessId(0), kill_ms * MS + 137_000);
+        let report = DcHarness::new(sim, DcConfig::discount_checking(Protocol::Cpvs), apps).run();
+        assert!(report.all_done, "kill@{kill_ms}ms");
+        let verdict =
+            ft_core::consistency::check_consistent_recovery(&report.visible_tokens(), &ref_tokens);
+        assert!(
+            verdict.consistent,
+            "kill@{kill_ms}ms: {:?} — kernel file state diverged",
+            verdict.error
+        );
+    }
+}
+
+#[test]
+fn pending_nd_capture_under_cand_covers_file_ops() {
+    // CAND commits after open and write (fixed nd): killing right after
+    // those commits must replay the stored results without re-executing
+    // the kernel effect (no duplicate appends).
+    let (sim, mut apps) = build(5, 15);
+    let reference = run_plain_on(sim, &mut apps);
+    let ref_tokens: Vec<u64> = reference.visibles.iter().map(|&(_, _, t)| t).collect();
+    for k in 1..30u64 {
+        let (mut sim, apps) = build(5, 15);
+        sim.kill_at(ProcessId(0), k * 530_000);
+        let report = DcHarness::new(sim, DcConfig::discount_checking(Protocol::Cand), apps).run();
+        assert!(report.all_done, "kill #{k}");
+        let verdict =
+            ft_core::consistency::check_consistent_recovery(&report.visible_tokens(), &ref_tokens);
+        assert!(verdict.consistent, "kill #{k}: {:?}", verdict.error);
+    }
+}
+
+#[test]
+fn committed_snapshot_contents_are_coherent() {
+    use ft_dc::runtime::DcRuntime;
+    use ft_mem::mem::Mem;
+
+    let mut sim = Simulator::new(SimConfig::single_node(1, 1));
+    sim.set_input_script(
+        ProcessId(0),
+        InputScript::evenly_spaced(0, MS, vec![vec![1], vec![2]]),
+    );
+    let mems = vec![Mem::new(ft_mem::arena::Layout::small())];
+    let mut rt = DcRuntime::new(DcConfig::discount_checking(Protocol::Cpvs), &sim, mems);
+    let pid = ProcessId(0);
+
+    // Mutate, commit, mutate again, recover: the arena must match the
+    // committed image and the cursors the simulator's state.
+    rt.state_mut(pid)
+        .mem
+        .arena
+        .write(100, b"committed")
+        .unwrap();
+    let cost = rt.commit_arena(pid, &sim, None);
+    assert!(cost > 0);
+    rt.state_mut(pid)
+        .mem
+        .arena
+        .write(100, b"scratched")
+        .unwrap();
+    let rolled = rt.recover(pid, &mut sim);
+    assert_eq!(rolled, vec![pid]);
+    assert_eq!(rt.state(pid).mem.arena.read(100, 9).unwrap(), b"committed");
+    // The snapshot recorded the trace position; the rollback event refers
+    // back to it.
+    assert!(rt.state(pid).committed.trace_pos >= 1);
+}
+
+/// Input → echo only, no file I/O: under CAND-LOG every event is logged
+/// and the process never commits on its own.
+struct PureEcho;
+
+impl App for PureEcho {
+    fn step(&mut self, sys: &mut dyn SysMem) -> MemResult<AppStatus> {
+        match PHASE.get(&sys.mem().arena)? {
+            0 => {
+                if let Some(bytes) = sys.read_input() {
+                    let m = sys.mem();
+                    STAGED.set(&mut m.arena, bytes[0] as u64)?;
+                    PHASE.set(&mut m.arena, 1)?;
+                    Ok(AppStatus::Running)
+                } else if sys.input_exhausted() {
+                    Ok(AppStatus::Done)
+                } else {
+                    Ok(AppStatus::Blocked(WaitCond::input()))
+                }
+            }
+            _ => {
+                let k = STAGED.get(&sys.mem().arena)?;
+                let m = sys.mem();
+                let n = WRITTEN.get(&m.arena)? + 1;
+                WRITTEN.set(&mut m.arena, n)?;
+                sys.visible(k * 1_000_003 + n);
+                PHASE.set(&mut sys.mem().arena, 0)?;
+                Ok(AppStatus::Running)
+            }
+        }
+    }
+}
+
+#[test]
+fn periodic_rounds_bound_rollback_distance() {
+    // Under CAND-LOG a pure input→echo workload logs everything and never
+    // commits: a late failure replays the whole session (the user watches
+    // every echo scroll past again). Periodic coordinated checkpointing
+    // bounds the replay to one interval.
+    fn build_pure(seed: u64, n: usize) -> (Simulator, Vec<Box<dyn App>>) {
+        let mut sim = Simulator::new(SimConfig::single_node(1, seed));
+        sim.set_input_script(
+            ProcessId(0),
+            InputScript::evenly_spaced(
+                0,
+                MS,
+                (0..n).map(|i| vec![b'a' + (i % 26) as u8]).collect(),
+            ),
+        );
+        (sim, vec![Box::new(PureEcho)])
+    }
+    fn run(period: Option<u64>, kill_at: u64) -> (u64, usize) {
+        let (mut sim, apps) = build_pure(11, 60);
+        sim.kill_at(ProcessId(0), kill_at);
+        let mut cfg = DcConfig::discount_checking(Protocol::CandLog);
+        cfg.periodic_checkpoint_ns = period;
+        let report = DcHarness::new(sim, cfg, apps).run();
+        assert!(report.all_done);
+        (report.total_commits(), report.visibles.len())
+    }
+    let kill_at = 55 * MS;
+    let (c_none, v_none) = run(None, kill_at);
+    assert_eq!(c_none, 0, "CAND-LOG alone never commits here");
+    let (c_per, v_per) = run(Some(10 * MS), kill_at);
+    assert!(c_per > 0, "periodic rounds add commits");
+    // Replayed visibles (duplicates) measure rollback distance: ~55 echoes
+    // replay without rounds, at most ~10 with them.
+    let dup_none = v_none - 60;
+    let dup_per = v_per - 60;
+    assert!(dup_none >= 40, "whole-session replay: {dup_none}");
+    assert!(
+        dup_per <= 15,
+        "bounded rollback must replay at most one interval: {dup_per}"
+    );
+}

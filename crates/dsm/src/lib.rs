@@ -1,0 +1,792 @@
+//! # ft-dsm — page-based distributed shared memory
+//!
+//! A TreadMarks-style software DSM (§3's substrate for the Barnes-Hut
+//! workload), rebuilt over the simulated network:
+//!
+//! * a shared region of DSM pages replicated on every node, with **twins**
+//!   and **diffs**: each node tracks the pages it wrote, and at a barrier
+//!   broadcasts byte-granular diffs of those pages against its twin —
+//!   TreadMarks' multiple-writer protocol, which lets distinct nodes write
+//!   disjoint parts of the same page concurrently and merge;
+//! * an all-to-all **dissemination barrier** doubling as the release
+//!   point: a node leaves the barrier when it has received every peer's
+//!   diffs for the round, so shared data is coherent at barrier exit
+//!   (release consistency for barrier-race-free programs);
+//! * everything — region, twins, dirty bits, barrier state — lives in the
+//!   process arena, so the DSM checkpoints, rolls back, and replays under
+//!   the recovery runtime exactly like any other application state.
+//!
+//! The barrier is *pumped*: [`Dsm::barrier_pump`] performs at most one
+//! event-generating syscall per call, honoring the `ft-sim` step
+//! discipline; the application keeps calling it until it reports
+//! [`BarrierStatus::Done`].
+//!
+//! TreadMarks' second synchronization primitive — **locks**, with
+//! entry-consistency diff propagation along the grant chain — lives in
+//! [`lock`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lock;
+
+use ft_mem::error::{MemFault, MemResult};
+use ft_mem::mem::{ArenaCell, Mem};
+use ft_mem::pod::Pod;
+use ft_sim::cost::US;
+use ft_sim::syscalls::SysMem;
+use serde::{Deserialize, Serialize};
+
+/// DSM page size in bytes (TreadMarks used the VM page; we use a finer
+/// granularity so diffs stay interesting at simulation scale).
+pub const DSM_PAGE: usize = 1024;
+
+/// A diff message: the sender's byte-level changes for one barrier round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DiffMsg {
+    round: u64,
+    from: u32,
+    diffs: Vec<PageDiff>,
+}
+
+/// Byte runs that changed within one page.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PageDiff {
+    page: u32,
+    runs: Vec<(u32, Vec<u8>)>,
+}
+
+/// Result of pumping the barrier state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierStatus {
+    /// The barrier completed; shared data is coherent.
+    Done,
+    /// Progress was made (or more sends remain); call again.
+    Working,
+    /// Waiting for peer diffs; block on a message wait condition.
+    Blocked,
+}
+
+/// A DSM endpoint: immutable configuration plus arena offsets. All mutable
+/// state lives in the arena.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Dsm {
+    my: u32,
+    n_nodes: u32,
+    n_pages: usize,
+    region_off: usize,
+    twin_off: usize,
+    /// Control block: phase, round, send index, parity masks.
+    ctrl_off: usize,
+    /// One dirty flag byte per page.
+    dirty_off: usize,
+    /// Stash for next-round diffs that arrive early (a fast peer racing
+    /// ahead): `n_nodes - 1` slots of `[len u64][payload]`.
+    stash_off: usize,
+}
+
+// Control cell layout (u64 each).
+const C_PHASE: usize = 0; // 0 = idle, 1 = sending, 2 = receiving.
+const C_ROUND: usize = 8;
+const C_SEND_IDX: usize = 16;
+const C_MASK_EVEN: usize = 24;
+const C_MASK_ODD: usize = 32;
+const C_LOCK_PHASE: usize = 40;
+/// Bytes of control state.
+pub const CTRL_SIZE: usize = 48;
+
+impl Dsm {
+    /// Initializes a DSM endpoint for node `my` of `n_nodes`, allocating
+    /// the shared region, its twin, the dirty map, and the control block in
+    /// the arena heap.
+    ///
+    /// Every node must initialize with the same `n_pages`; the shared
+    /// region starts zeroed and coherent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes > 64` (the parity masks are single words).
+    pub fn init(mem: &mut Mem, my: u32, n_nodes: u32, n_pages: usize) -> MemResult<Self> {
+        assert!(n_nodes <= 64, "parity masks hold at most 64 nodes");
+        let region_off = mem.alloc.alloc(&mut mem.arena, n_pages * DSM_PAGE)?;
+        let twin_off = mem.alloc.alloc(&mut mem.arena, n_pages * DSM_PAGE)?;
+        let dirty_off = mem.alloc.alloc(&mut mem.arena, n_pages)?;
+        let ctrl_off = mem.alloc.alloc(&mut mem.arena, CTRL_SIZE)?;
+        let stash_off = mem.alloc.alloc(
+            &mut mem.arena,
+            (n_nodes as usize - 1) * Self::stash_slot_bytes(n_pages),
+        )?;
+        Ok(Dsm {
+            my,
+            n_nodes,
+            n_pages,
+            region_off,
+            twin_off,
+            ctrl_off,
+            dirty_off,
+            stash_off,
+        })
+    }
+
+    /// Bytes per stash slot: header + a worst-case whole-region diff with
+    /// run overhead.
+    fn stash_slot_bytes(n_pages: usize) -> usize {
+        8 + n_pages * (DSM_PAGE + 64) + 256
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> u32 {
+        self.my
+    }
+
+    /// Number of nodes sharing the region.
+    pub fn nodes(&self) -> u32 {
+        self.n_nodes
+    }
+
+    /// Size of the shared region in bytes.
+    pub fn size(&self) -> usize {
+        self.n_pages * DSM_PAGE
+    }
+
+    /// The current barrier round.
+    pub fn round(&self, mem: &Mem) -> MemResult<u64> {
+        self.ctrl(C_ROUND).get(&mem.arena)
+    }
+
+    fn ctrl(&self, field: usize) -> ArenaCell<u64> {
+        ArenaCell::at(self.ctrl_off + field)
+    }
+
+    fn check(&self, off: usize, len: usize) -> MemResult<()> {
+        if off.checked_add(len).is_none_or(|end| end > self.size()) {
+            return Err(MemFault::OutOfBounds {
+                offset: self.region_off.wrapping_add(off),
+                len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads raw bytes at a region-relative offset.
+    pub fn read(&self, mem: &Mem, off: usize, len: usize) -> MemResult<Vec<u8>> {
+        self.check(off, len)?;
+        Ok(mem.arena.read(self.region_off + off, len)?.to_vec())
+    }
+
+    /// Reads a [`Pod`] value at a region-relative offset.
+    pub fn read_pod<T: Pod>(&self, mem: &Mem, off: usize) -> MemResult<T> {
+        self.check(off, T::SIZE)?;
+        mem.arena.read_pod(self.region_off + off)
+    }
+
+    /// Writes bytes at a region-relative offset, marking the touched DSM
+    /// pages dirty (they will be diffed at the next barrier).
+    pub fn write(&self, mem: &mut Mem, off: usize, bytes: &[u8]) -> MemResult<()> {
+        self.check(off, bytes.len())?;
+        mem.arena.write(self.region_off + off, bytes)?;
+        self.mark_dirty(mem, off, bytes.len())
+    }
+
+    /// Writes a [`Pod`] value at a region-relative offset.
+    pub fn write_pod<T: Pod>(&self, mem: &mut Mem, off: usize, value: T) -> MemResult<()> {
+        self.check(off, T::SIZE)?;
+        mem.arena.write_pod(self.region_off + off, value)?;
+        self.mark_dirty(mem, off, T::SIZE)
+    }
+
+    fn mark_dirty(&self, mem: &mut Mem, off: usize, len: usize) -> MemResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let first = off / DSM_PAGE;
+        let last = (off + len - 1) / DSM_PAGE;
+        for p in first..=last {
+            mem.arena.write(self.dirty_off + p, &[1])?;
+        }
+        Ok(())
+    }
+
+    /// Computes this node's diffs (dirty pages vs. twin).
+    fn compute_diffs(&self, mem: &Mem) -> MemResult<Vec<PageDiff>> {
+        let mut out = Vec::new();
+        for p in 0..self.n_pages {
+            if mem.arena.read(self.dirty_off + p, 1)?[0] == 0 {
+                continue;
+            }
+            let cur = mem.arena.read(self.region_off + p * DSM_PAGE, DSM_PAGE)?;
+            let twin = mem.arena.read(self.twin_off + p * DSM_PAGE, DSM_PAGE)?;
+            let mut runs: Vec<(u32, Vec<u8>)> = Vec::new();
+            let mut i = 0;
+            while i < DSM_PAGE {
+                if cur[i] != twin[i] {
+                    let start = i;
+                    while i < DSM_PAGE && cur[i] != twin[i] {
+                        i += 1;
+                    }
+                    runs.push((start as u32, cur[start..i].to_vec()));
+                } else {
+                    i += 1;
+                }
+            }
+            if !runs.is_empty() {
+                out.push(PageDiff {
+                    page: p as u32,
+                    runs,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    fn apply_diffs(&self, mem: &mut Mem, diffs: &[PageDiff]) -> MemResult<()> {
+        for d in diffs {
+            if d.page as usize >= self.n_pages {
+                return Err(MemFault::InvariantViolated { check: 0xD5 });
+            }
+            let base = self.region_off + d.page as usize * DSM_PAGE;
+            for (off, bytes) in &d.runs {
+                if *off as usize + bytes.len() > DSM_PAGE {
+                    return Err(MemFault::InvariantViolated { check: 0xD5 });
+                }
+                mem.arena.write(base + *off as usize, bytes)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn stash_slot(&self, idx: usize) -> usize {
+        self.stash_off + idx * Self::stash_slot_bytes(self.n_pages)
+    }
+
+    /// Stores an early diff payload in a free stash slot.
+    fn stash_put(&self, mem: &mut Mem, _from: u32, payload: &[u8]) -> MemResult<()> {
+        for i in 0..self.n_nodes as usize - 1 {
+            let slot = self.stash_slot(i);
+            let len: u64 = mem.arena.read_pod(slot)?;
+            if len == 0 {
+                if 8 + payload.len() > Self::stash_slot_bytes(self.n_pages) {
+                    return Err(MemFault::InvariantViolated { check: 0xD7 });
+                }
+                mem.arena.write_pod(slot, payload.len() as u64)?;
+                mem.arena.write(slot + 8, payload)?;
+                return Ok(());
+            }
+        }
+        Err(MemFault::InvariantViolated { check: 0xD8 })
+    }
+
+    /// Applies and clears all stashed diffs (now belonging to the current
+    /// round).
+    fn stash_drain(&self, mem: &mut Mem) -> MemResult<()> {
+        for i in 0..self.n_nodes as usize - 1 {
+            let slot = self.stash_slot(i);
+            let len: u64 = mem.arena.read_pod(slot)?;
+            if len == 0 {
+                continue;
+            }
+            let payload = mem.arena.read(slot + 8, len as usize)?.to_vec();
+            let (diff, _): (DiffMsg, usize) =
+                bincode::serde::decode_from_slice(&payload, bincode::config::standard())
+                    .map_err(|_| MemFault::InvariantViolated { check: 0xD6 })?;
+            self.apply_diffs(mem, &diff.diffs)?;
+            mem.arena.write_pod(slot, 0u64)?;
+        }
+        Ok(())
+    }
+
+    /// Declares the current region contents the shared baseline: refreshes
+    /// the twin and clears the dirty map so nothing seeded so far is
+    /// diffed. Call after deterministic initialization that every node
+    /// performs identically — without this, round-one diffs would cover
+    /// every seeded byte on every node, a write-write race.
+    pub fn commit_baseline(&self, mem: &mut Mem) -> MemResult<()> {
+        self.refresh_twin(mem)
+    }
+
+    /// Finishes a round: refresh the twin from the (merged) region and
+    /// clear the dirty map.
+    fn refresh_twin(&self, mem: &mut Mem) -> MemResult<()> {
+        let region = mem
+            .arena
+            .read(self.region_off, self.n_pages * DSM_PAGE)?
+            .to_vec();
+        mem.arena.write(self.twin_off, &region)?;
+        mem.arena.fill(self.dirty_off, self.n_pages, 0)?;
+        Ok(())
+    }
+
+    /// Arena offset of the lock-client phase cell (used by [`lock`]).
+    fn lock_ctrl_off(&self) -> usize {
+        self.ctrl_off + C_LOCK_PHASE
+    }
+
+    /// Serializes this node's current diffs (dirty pages vs. twin) for a
+    /// lock release. For lock-race-free programs the dirty set at release
+    /// is exactly the critical-section writes.
+    fn serialize_my_diffs(&self, mem: &Mem) -> MemResult<Vec<u8>> {
+        let diffs = self.compute_diffs(mem)?;
+        Ok(
+            bincode::serde::encode_to_vec(&diffs, bincode::config::standard())
+                .expect("diff serialization cannot fail"),
+        )
+    }
+
+    /// Applies a serialized diff payload to the region *and* the twin —
+    /// grant-carried diffs are received state, not this node's writes, so
+    /// they must not be re-published at the next release or barrier.
+    /// Returns the number of bytes applied.
+    fn apply_serialized_diffs(&self, mem: &mut Mem, payload: &[u8]) -> MemResult<usize> {
+        let (diffs, _): (Vec<PageDiff>, usize) =
+            bincode::serde::decode_from_slice(payload, bincode::config::standard())
+                .map_err(|_| MemFault::InvariantViolated { check: 0xD6 })?;
+        self.apply_diffs(mem, &diffs)?;
+        let mut applied = 0;
+        for d in &diffs {
+            let base = self.twin_off + d.page as usize * DSM_PAGE;
+            for (off, bytes) in &d.runs {
+                mem.arena.write(base + *off as usize, bytes)?;
+                applied += bytes.len();
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Folds this node's dirty pages into the twin and clears their dirty
+    /// bits — called at lock release, after the diffs have been published,
+    /// so the same writes are not published twice.
+    fn fold_my_diffs_into_twin(&self, mem: &mut Mem) -> MemResult<()> {
+        for p in 0..self.n_pages {
+            if mem.arena.read(self.dirty_off + p, 1)?[0] == 0 {
+                continue;
+            }
+            let cur = mem
+                .arena
+                .read(self.region_off + p * DSM_PAGE, DSM_PAGE)?
+                .to_vec();
+            mem.arena.write(self.twin_off + p * DSM_PAGE, &cur)?;
+            mem.arena.write(self.dirty_off + p, &[0])?;
+        }
+        Ok(())
+    }
+
+    /// Merges two serialized diff payloads byte-wise, later-wins, and
+    /// re-encodes compactly. The lock manager accumulates release diffs
+    /// with this: an acquirer needs every write notice it hasn't seen,
+    /// not just the immediately preceding release's.
+    pub(crate) fn merge_diff_payloads(older: &[u8], newer: &[u8]) -> MemResult<Vec<u8>> {
+        let mut bytes: std::collections::BTreeMap<(u32, u32), u8> = Default::default();
+        for payload in [older, newer] {
+            if payload.is_empty() {
+                continue;
+            }
+            let (diffs, _): (Vec<PageDiff>, usize) =
+                bincode::serde::decode_from_slice(payload, bincode::config::standard())
+                    .map_err(|_| MemFault::InvariantViolated { check: 0xD6 })?;
+            for d in &diffs {
+                for (off, run) in &d.runs {
+                    for (i, &b) in run.iter().enumerate() {
+                        bytes.insert((d.page, off + i as u32), b);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<PageDiff> = Vec::new();
+        for ((page, off), b) in bytes {
+            let extend = match out.last_mut() {
+                Some(d) if d.page == page => {
+                    let (roff, run) = d.runs.last_mut().expect("runs never empty");
+                    if *roff + run.len() as u32 == off {
+                        run.push(b);
+                        true
+                    } else {
+                        d.runs.push((off, vec![b]));
+                        true
+                    }
+                }
+                _ => false,
+            };
+            if !extend {
+                out.push(PageDiff {
+                    page,
+                    runs: vec![(off, vec![b])],
+                });
+            }
+        }
+        Ok(
+            bincode::serde::encode_to_vec(&out, bincode::config::standard())
+                .expect("diff serialization cannot fail"),
+        )
+    }
+
+    /// Pumps the barrier/diff-exchange state machine. Performs at most one
+    /// event syscall per call; keep pumping until `Done`. On `Blocked`,
+    /// block the step on a message wait condition.
+    pub fn barrier_pump(&self, sys: &mut dyn SysMem) -> MemResult<BarrierStatus> {
+        let phase = self.ctrl(C_PHASE);
+        let round_c = self.ctrl(C_ROUND);
+        let send_idx = self.ctrl(C_SEND_IDX);
+        match phase.get(&sys.mem().arena)? {
+            // Idle: apply any early-arrived diffs for this round (they
+            // were stashed so inter-barrier reads stayed consistent), then
+            // enter the sending phase.
+            0 => {
+                let m = sys.mem();
+                self.stash_drain(m)?;
+                send_idx.set(&mut m.arena, 0)?;
+                phase.set(&mut m.arena, 1)?;
+                Ok(BarrierStatus::Working)
+            }
+            // Sending: one diff message per pump.
+            1 => {
+                let idx = send_idx.get(&sys.mem().arena)? as u32;
+                if idx >= self.n_nodes - 1 {
+                    // All sent: move to receiving.
+                    phase.set(&mut sys.mem().arena, 2)?;
+                    return Ok(BarrierStatus::Working);
+                }
+                let peer = if idx >= self.my { idx + 1 } else { idx };
+                let round = round_c.get(&sys.mem().arena)?;
+                let diffs = self.compute_diffs(sys.mem())?;
+                let pages_scanned = diffs.len().max(1);
+                let msg = DiffMsg {
+                    round,
+                    from: self.my,
+                    diffs,
+                };
+                let payload = bincode::serde::encode_to_vec(&msg, bincode::config::standard())
+                    .expect("diff serialization cannot fail");
+                // Diff creation cost: ~1 µs per scanned page.
+                sys.compute(pages_scanned as u64 * US);
+                sys.send(ft_core::event::ProcessId(peer), payload)
+                    .expect("peer exists");
+                send_idx.set(&mut sys.mem().arena, idx as u64 + 1)?;
+                Ok(BarrierStatus::Working)
+            }
+            // Receiving: consume peer diffs until the round's mask fills.
+            _ => {
+                let round = round_c.get(&sys.mem().arena)?;
+                let mask_field = if round % 2 == 0 {
+                    C_MASK_EVEN
+                } else {
+                    C_MASK_ODD
+                };
+                let mask_c = self.ctrl(mask_field);
+                let full: u64 = (((1u128 << self.n_nodes) - 1) as u64) & !(1 << self.my);
+                if mask_c.get(&sys.mem().arena)? == full {
+                    // Round complete: the merge is in, refresh the twin,
+                    // clear this parity's mask, advance, then apply any
+                    // stashed diffs that belong to the new round.
+                    let m = sys.mem();
+                    self.refresh_twin(m)?;
+                    mask_c.set(&mut m.arena, 0)?;
+                    round_c.set(&mut m.arena, round + 1)?;
+                    phase.set(&mut m.arena, 0)?;
+                    return Ok(BarrierStatus::Done);
+                }
+                match sys.try_recv() {
+                    None => Ok(BarrierStatus::Blocked),
+                    Some(msg) => {
+                        self.absorb_barrier_payload(sys, &msg.payload)?;
+                        Ok(BarrierStatus::Working)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Absorbs one received barrier diff payload: current-round diffs are
+    /// applied, future-round diffs are stashed (applying them now would
+    /// leak next-round state into this round's reads), and the arrival is
+    /// marked in the matching parity mask. Called from the barrier's
+    /// receive phase — and from [`lock`]'s acquire pump, because a fast
+    /// peer can enter the barrier and ship its diffs while this node is
+    /// still waiting for a lock grant.
+    pub(crate) fn absorb_barrier_payload(
+        &self,
+        sys: &mut dyn SysMem,
+        payload: &[u8],
+    ) -> MemResult<()> {
+        let round = self.ctrl(C_ROUND).get(&sys.mem().arena)?;
+        let (diff, _): (DiffMsg, usize) =
+            bincode::serde::decode_from_slice(payload, bincode::config::standard())
+                .map_err(|_| MemFault::InvariantViolated { check: 0xD6 })?;
+        if diff.round == round {
+            let applied: usize = diff
+                .diffs
+                .iter()
+                .map(|d| d.runs.iter().map(|(_, b)| b.len()).sum::<usize>())
+                .sum();
+            self.apply_diffs(sys.mem(), &diff.diffs)?;
+            sys.compute((applied as u64 / 256 + 1) * US);
+        } else {
+            self.stash_put(sys.mem(), diff.from, payload)?;
+        }
+        // Mark arrival in the round's parity mask (early diffs land in the
+        // other parity).
+        let f = if diff.round % 2 == 0 {
+            C_MASK_EVEN
+        } else {
+            C_MASK_ODD
+        };
+        let c = self.ctrl(f);
+        let m = sys.mem();
+        let v = c.get(&m.arena)? | (1 << diff.from);
+        c.set(&mut m.arena, v)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_mem::arena::Layout;
+
+    fn big_mem() -> Mem {
+        Mem::new(Layout {
+            globals_pages: 1,
+            stack_pages: 2,
+            heap_pages: 64,
+        })
+    }
+
+    #[test]
+    fn read_write_roundtrip_marks_dirty() {
+        let mut mem = big_mem();
+        let dsm = Dsm::init(&mut mem, 0, 2, 4).unwrap();
+        dsm.write_pod(&mut mem, 100, 0xABCDu64).unwrap();
+        assert_eq!(dsm.read_pod::<u64>(&mem, 100).unwrap(), 0xABCD);
+        let diffs = dsm.compute_diffs(&mem).unwrap();
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].page, 0);
+    }
+
+    #[test]
+    fn diffs_are_byte_granular() {
+        let mut mem = big_mem();
+        let dsm = Dsm::init(&mut mem, 0, 2, 4).unwrap();
+        dsm.write(&mut mem, 10, &[1, 2, 3]).unwrap();
+        dsm.write(&mut mem, 500, &[9]).unwrap();
+        let diffs = dsm.compute_diffs(&mem).unwrap();
+        assert_eq!(diffs[0].runs.len(), 2);
+        assert_eq!(diffs[0].runs[0], (10, vec![1, 2, 3]));
+        assert_eq!(diffs[0].runs[1], (500, vec![9]));
+    }
+
+    #[test]
+    fn apply_merges_disjoint_writes() {
+        let mut a = big_mem();
+        let mut b = big_mem();
+        let dsm_a = Dsm::init(&mut a, 0, 2, 4).unwrap();
+        let dsm_b = Dsm::init(&mut b, 1, 2, 4).unwrap();
+        // Same page, disjoint bytes — the multiple-writer case.
+        dsm_a.write(&mut a, 0, &[1; 8]).unwrap();
+        dsm_b.write(&mut b, 8, &[2; 8]).unwrap();
+        let da = dsm_a.compute_diffs(&a).unwrap();
+        let db = dsm_b.compute_diffs(&b).unwrap();
+        dsm_a.apply_diffs(&mut a, &db).unwrap();
+        dsm_b.apply_diffs(&mut b, &da).unwrap();
+        assert_eq!(
+            dsm_a.read(&a, 0, 16).unwrap(),
+            dsm_b.read(&b, 0, 16).unwrap()
+        );
+    }
+
+    #[test]
+    fn out_of_region_access_fails() {
+        let mut mem = big_mem();
+        let dsm = Dsm::init(&mut mem, 0, 2, 2).unwrap();
+        assert!(dsm.read(&mem, 2 * DSM_PAGE - 4, 8).is_err());
+        assert!(dsm.write_pod(&mut mem, 2 * DSM_PAGE, 0u64).is_err());
+        assert!(dsm.read_pod::<u64>(&mem, usize::MAX - 100).is_err());
+    }
+
+    #[test]
+    fn malformed_diff_is_an_invariant_violation() {
+        let mut mem = big_mem();
+        let dsm = Dsm::init(&mut mem, 0, 2, 2).unwrap();
+        let bad = vec![PageDiff {
+            page: 99,
+            runs: vec![(0, vec![1])],
+        }];
+        assert!(matches!(
+            dsm.apply_diffs(&mut mem, &bad),
+            Err(MemFault::InvariantViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_diff_payloads_is_later_wins_and_compact() {
+        let enc = |d: Vec<PageDiff>| {
+            bincode::serde::encode_to_vec(&d, bincode::config::standard()).unwrap()
+        };
+        let dec = |p: &[u8]| -> Vec<PageDiff> {
+            bincode::serde::decode_from_slice(p, bincode::config::standard())
+                .unwrap()
+                .0
+        };
+        let older = enc(vec![PageDiff {
+            page: 0,
+            runs: vec![(0, vec![1, 1, 1]), (10, vec![5])],
+        }]);
+        let newer = enc(vec![PageDiff {
+            page: 0,
+            runs: vec![(1, vec![9]), (3, vec![7])],
+        }]);
+        let merged = dec(&Dsm::merge_diff_payloads(&older, &newer).unwrap());
+        assert_eq!(merged.len(), 1);
+        // Bytes 0..4 coalesce into one run (1,9,1,7); byte 10 stays apart.
+        assert_eq!(merged[0].runs, vec![(0, vec![1, 9, 1, 7]), (10, vec![5])]);
+    }
+
+    #[test]
+    fn merge_with_empty_sides_preserves_the_other() {
+        let enc = |d: Vec<PageDiff>| {
+            bincode::serde::encode_to_vec(&d, bincode::config::standard()).unwrap()
+        };
+        let one = enc(vec![PageDiff {
+            page: 3,
+            runs: vec![(100, vec![42])],
+        }]);
+        let a = Dsm::merge_diff_payloads(&[], &one).unwrap();
+        let b = Dsm::merge_diff_payloads(&one, &[]).unwrap();
+        assert_eq!(a, b);
+        let (decoded, _): (Vec<PageDiff>, usize) =
+            bincode::serde::decode_from_slice(&a, bincode::config::standard()).unwrap();
+        assert_eq!(decoded[0].page, 3);
+        assert_eq!(decoded[0].runs, vec![(100, vec![42])]);
+    }
+
+    #[test]
+    fn merge_spans_pages_without_bleeding_runs() {
+        let enc = |d: Vec<PageDiff>| {
+            bincode::serde::encode_to_vec(&d, bincode::config::standard()).unwrap()
+        };
+        // Last byte of page 0, first byte of page 1: must stay two diffs.
+        let older = enc(vec![PageDiff {
+            page: 0,
+            runs: vec![(DSM_PAGE as u32 - 1, vec![1])],
+        }]);
+        let newer = enc(vec![PageDiff {
+            page: 1,
+            runs: vec![(0, vec![2])],
+        }]);
+        let merged = Dsm::merge_diff_payloads(&older, &newer).unwrap();
+        let (decoded, _): (Vec<PageDiff>, usize) =
+            bincode::serde::decode_from_slice(&merged, bincode::config::standard()).unwrap();
+        assert_eq!(decoded.len(), 2);
+    }
+
+    #[test]
+    fn apply_serialized_diffs_updates_region_and_twin() {
+        let mut mem = big_mem();
+        let dsm = Dsm::init(&mut mem, 0, 2, 4).unwrap();
+        // NB: encode as a slice — a fixed-size array would encode without
+        // the length prefix `apply_serialized_diffs` expects.
+        let diffs: &[PageDiff] = &[PageDiff {
+            page: 1,
+            runs: vec![(4, vec![7, 8, 9])],
+        }];
+        let payload = bincode::serde::encode_to_vec(diffs, bincode::config::standard()).unwrap();
+        let n = dsm.apply_serialized_diffs(&mut mem, &payload).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(dsm.read(&mem, DSM_PAGE + 4, 3).unwrap(), vec![7, 8, 9]);
+        // Folded into the twin: these bytes are received state, so they
+        // must not show up as this node's own diffs.
+        assert!(dsm.compute_diffs(&mem).unwrap().is_empty());
+    }
+
+    #[test]
+    fn refresh_twin_clears_dirty() {
+        let mut mem = big_mem();
+        let dsm = Dsm::init(&mut mem, 0, 2, 4).unwrap();
+        dsm.write(&mut mem, 0, &[5; 32]).unwrap();
+        dsm.refresh_twin(&mut mem).unwrap();
+        assert!(dsm.compute_diffs(&mem).unwrap().is_empty());
+        // New writes diff against the refreshed twin; writing the same
+        // bytes again produces no diff.
+        dsm.write(&mut mem, 0, &[5; 32]).unwrap();
+        assert!(dsm.compute_diffs(&mem).unwrap().is_empty());
+        dsm.write(&mut mem, 0, &[6]).unwrap();
+        assert_eq!(dsm.compute_diffs(&mem).unwrap().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod merge_proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    /// A random diff list over 2 pages (offsets kept in-page).
+    fn diffs_strategy() -> impl Strategy<Value = Vec<PageDiff>> {
+        proptest::collection::vec(
+            (
+                0u32..2,
+                0u32..(DSM_PAGE as u32 - 8),
+                proptest::collection::vec(proptest::num::u8::ANY, 1..8),
+            ),
+            0..12,
+        )
+        .prop_map(|writes| {
+            writes
+                .into_iter()
+                .map(|(page, off, bytes)| PageDiff {
+                    page,
+                    runs: vec![(off, bytes)],
+                })
+                .collect()
+        })
+    }
+
+    fn enc(d: &Vec<PageDiff>) -> Vec<u8> {
+        bincode::serde::encode_to_vec(d, bincode::config::standard()).unwrap()
+    }
+
+    fn model_apply(map: &mut BTreeMap<(u32, u32), u8>, diffs: &[PageDiff]) {
+        for d in diffs {
+            for (off, run) in &d.runs {
+                for (i, &b) in run.iter().enumerate() {
+                    map.insert((d.page, off + i as u32), b);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// Merging payloads then applying equals applying them in order —
+        /// the write-notice accumulation is semantics-preserving.
+        #[test]
+        fn merge_equals_sequential_application(
+            older in diffs_strategy(),
+            newer in diffs_strategy(),
+        ) {
+            let merged = Dsm::merge_diff_payloads(&enc(&older), &enc(&newer)).unwrap();
+            let (decoded, _): (Vec<PageDiff>, usize) =
+                bincode::serde::decode_from_slice(&merged, bincode::config::standard()).unwrap();
+            let mut want = BTreeMap::new();
+            model_apply(&mut want, &older);
+            model_apply(&mut want, &newer);
+            let mut got = BTreeMap::new();
+            model_apply(&mut got, &decoded);
+            prop_assert_eq!(got, want);
+            // And the encoding is canonical: runs are disjoint, sorted,
+            // and maximally coalesced within each page.
+            for d in &decoded {
+                for w in d.runs.windows(2) {
+                    let end = w[0].0 + w[0].1.len() as u32;
+                    prop_assert!(end < w[1].0, "adjacent runs must coalesce");
+                }
+            }
+        }
+
+        /// Merge is idempotent on the right: folding the same newest
+        /// payload twice changes nothing.
+        #[test]
+        fn merge_right_idempotent(a in diffs_strategy(), b in diffs_strategy()) {
+            let once = Dsm::merge_diff_payloads(&enc(&a), &enc(&b)).unwrap();
+            let twice = Dsm::merge_diff_payloads(&once, &enc(&b)).unwrap();
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

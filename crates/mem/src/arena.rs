@@ -1,0 +1,414 @@
+//! Page-grained process memory arenas with Vista-style undo logging.
+//!
+//! Discount Checking "maps the process' entire address space into a segment
+//! of reliable memory managed by Vista. Vista traps updates to the process'
+//! address space using copy-on-write, and logs the before-images of updated
+//! regions to its persistent undo log" (§3). An [`Arena`] is that address
+//! space: applications keep all recoverable state in it, every write is
+//! trapped at page granularity, and a *commit* atomically discards the undo
+//! log while a *rollback* applies it.
+//!
+//! The arena is laid out in three named regions — globals, stack, heap —
+//! matching the fault-injection taxonomy of §4.1 (stack bit flips vs. heap
+//! bit flips).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{MemFault, MemResult};
+use crate::pod::Pod;
+
+/// Page size in bytes, matching the i386 pages Discount Checking protected.
+pub const PAGE_SIZE: usize = 4096;
+
+/// A named region of the arena (§4.1's fault taxonomy distinguishes them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Global/static data.
+    Globals,
+    /// The (simulated) stack.
+    Stack,
+    /// The heap, managed by [`crate::alloc::Allocator`].
+    Heap,
+}
+
+/// Arena layout: number of pages per region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    /// Pages of global data.
+    pub globals_pages: usize,
+    /// Pages of stack.
+    pub stack_pages: usize,
+    /// Pages of heap.
+    pub heap_pages: usize,
+}
+
+impl Layout {
+    /// A small default layout (4 KiB globals, 16 KiB stack, 64 KiB heap).
+    pub fn small() -> Self {
+        Layout {
+            globals_pages: 1,
+            stack_pages: 4,
+            heap_pages: 16,
+        }
+    }
+
+    /// Total pages.
+    pub fn total_pages(&self) -> usize {
+        self.globals_pages + self.stack_pages + self.heap_pages
+    }
+}
+
+/// Running statistics for an arena, feeding the Figure 8 cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArenaStats {
+    /// Write-barrier "traps": first writes to a clean page since the last
+    /// commit (each costs a page-protection fault in the real system).
+    pub traps: u64,
+    /// Total write operations.
+    pub writes: u64,
+    /// Total commits executed.
+    pub commits: u64,
+    /// Total rollbacks executed.
+    pub rollbacks: u64,
+    /// Cumulative dirty pages across all commits.
+    pub committed_pages: u64,
+    /// Cumulative dirty bytes across all commits.
+    pub committed_bytes: u64,
+}
+
+/// What one commit had to persist (drives the time-cost model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitRecord {
+    /// Pages dirtied since the previous commit.
+    pub dirty_pages: usize,
+    /// Bytes those pages amount to.
+    pub dirty_bytes: usize,
+    /// Register-file / control-block bytes saved alongside (set by the
+    /// checkpointing runtime; zero at the arena level).
+    pub register_bytes: usize,
+}
+
+/// A process address space in reliable memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Arena {
+    layout: Layout,
+    data: Vec<u8>,
+    /// Dirty-since-last-commit flags, one per page.
+    dirty: Vec<bool>,
+    /// Before-images of dirtied pages: (page index, bytes).
+    undo: Vec<(usize, Vec<u8>)>,
+    stats: ArenaStats,
+}
+
+impl Arena {
+    /// Creates a zeroed arena with the given layout.
+    pub fn new(layout: Layout) -> Self {
+        let pages = layout.total_pages();
+        Arena {
+            layout,
+            data: vec![0; pages * PAGE_SIZE],
+            dirty: vec![false; pages],
+            undo: Vec::new(),
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// The arena's layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The byte range of a region.
+    pub fn region_range(&self, region: Region) -> std::ops::Range<usize> {
+        let g = self.layout.globals_pages * PAGE_SIZE;
+        let s = self.layout.stack_pages * PAGE_SIZE;
+        match region {
+            Region::Globals => 0..g,
+            Region::Stack => g..g + s,
+            Region::Heap => g + s..self.data.len(),
+        }
+    }
+
+    fn check(&self, offset: usize, len: usize) -> MemResult<()> {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.data.len())
+        {
+            return Err(MemFault::OutOfBounds { offset, len });
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset`.
+    pub fn read(&self, offset: usize, len: usize) -> MemResult<&[u8]> {
+        self.check(offset, len)?;
+        Ok(&self.data[offset..offset + len])
+    }
+
+    /// Writes `bytes` at `offset`, trapping first-touched pages into the
+    /// undo log (copy-on-write).
+    pub fn write(&mut self, offset: usize, bytes: &[u8]) -> MemResult<()> {
+        self.check(offset, bytes.len())?;
+        self.trap_range(offset, bytes.len());
+        self.stats.writes += 1;
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `offset` with `byte`.
+    pub fn fill(&mut self, offset: usize, len: usize, byte: u8) -> MemResult<()> {
+        self.check(offset, len)?;
+        self.trap_range(offset, len);
+        self.stats.writes += 1;
+        self.data[offset..offset + len].fill(byte);
+        Ok(())
+    }
+
+    fn trap_range(&mut self, offset: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            if !self.dirty[page] {
+                self.dirty[page] = true;
+                self.stats.traps += 1;
+                let start = page * PAGE_SIZE;
+                self.undo
+                    .push((page, self.data[start..start + PAGE_SIZE].to_vec()));
+            }
+        }
+    }
+
+    /// Reads a [`Pod`] value at `offset`.
+    pub fn read_pod<T: Pod>(&self, offset: usize) -> MemResult<T> {
+        Ok(T::load(self.read(offset, T::SIZE)?))
+    }
+
+    /// Writes a [`Pod`] value at `offset`.
+    pub fn write_pod<T: Pod>(&mut self, offset: usize, value: T) -> MemResult<()> {
+        let mut buf = vec![0u8; T::SIZE];
+        value.store(&mut buf);
+        self.write(offset, &buf)
+    }
+
+    /// Flips one bit (fault injection). Goes through the normal write path:
+    /// a corruption caused by buggy code is ordinary process state and is
+    /// rolled back like any other write.
+    pub fn flip_bit(&mut self, offset: usize, bit: u8) -> MemResult<()> {
+        let b = *self.read(offset, 1)?.first().expect("read checked");
+        self.write(offset, &[b ^ (1 << (bit % 8))])
+    }
+
+    /// FNV-1a checksum over a byte range, for application consistency
+    /// checks (§2.6).
+    pub fn checksum(&self, offset: usize, len: usize) -> MemResult<u64> {
+        let bytes = self.read(offset, len)?;
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Ok(h)
+    }
+
+    /// Number of pages dirtied since the last commit.
+    pub fn dirty_page_count(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Commits: atomically discards the undo log, making the current state
+    /// the recovery point. Returns what had to be persisted.
+    pub fn commit(&mut self) -> CommitRecord {
+        let dirty_pages = self.undo.len();
+        let record = CommitRecord {
+            dirty_pages,
+            dirty_bytes: dirty_pages * PAGE_SIZE,
+            register_bytes: 0,
+        };
+        self.undo.clear();
+        self.dirty.fill(false);
+        self.stats.commits += 1;
+        self.stats.committed_pages += dirty_pages as u64;
+        self.stats.committed_bytes += record.dirty_bytes as u64;
+        record
+    }
+
+    /// Rolls back to the last committed state by applying the undo log's
+    /// before-images (most recent first). Returns the number of pages
+    /// restored.
+    pub fn rollback(&mut self) -> usize {
+        let n = self.undo.len();
+        for (page, image) in self.undo.drain(..).rev() {
+            let start = page * PAGE_SIZE;
+            self.data[start..start + PAGE_SIZE].copy_from_slice(&image);
+        }
+        self.dirty.fill(false);
+        self.stats.rollbacks += 1;
+        n
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_partition_the_arena() {
+        let a = Arena::new(Layout {
+            globals_pages: 1,
+            stack_pages: 2,
+            heap_pages: 3,
+        });
+        assert_eq!(a.region_range(Region::Globals), 0..4096);
+        assert_eq!(a.region_range(Region::Stack), 4096..3 * 4096);
+        assert_eq!(a.region_range(Region::Heap), 3 * 4096..6 * 4096);
+        assert_eq!(a.size(), 6 * 4096);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut a = Arena::new(Layout::small());
+        a.write(100, b"hello").unwrap();
+        assert_eq!(a.read(100, 5).unwrap(), b"hello");
+        a.write_pod(200, 0xDEADBEEFu32).unwrap();
+        assert_eq!(a.read_pod::<u32>(200).unwrap(), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn out_of_bounds_is_a_segfault() {
+        let mut a = Arena::new(Layout::small());
+        let sz = a.size();
+        assert!(matches!(a.read(sz, 1), Err(MemFault::OutOfBounds { .. })));
+        assert!(a.write(sz - 2, b"abc").is_err());
+        // Overflowing offset must not panic.
+        assert!(a.read(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn rollback_restores_last_commit() {
+        let mut a = Arena::new(Layout::small());
+        a.write(0, b"committed").unwrap();
+        a.commit();
+        a.write(0, b"scratched").unwrap();
+        a.write(5000, b"more").unwrap();
+        assert_eq!(a.dirty_page_count(), 2); // Page 0 and page 1.
+        let restored = a.rollback();
+        assert_eq!(restored, 2);
+        assert_eq!(a.read(0, 9).unwrap(), b"committed");
+        assert_eq!(a.read(5000, 4).unwrap(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn commit_then_rollback_is_noop() {
+        let mut a = Arena::new(Layout::small());
+        a.write(10, &[1, 2, 3]).unwrap();
+        a.commit();
+        assert_eq!(a.rollback(), 0);
+        assert_eq!(a.read(10, 3).unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn traps_fire_once_per_page_per_interval() {
+        let mut a = Arena::new(Layout::small());
+        a.write(0, &[1]).unwrap();
+        a.write(1, &[2]).unwrap();
+        a.write(2, &[3]).unwrap();
+        assert_eq!(a.stats().traps, 1);
+        a.write(PAGE_SIZE, &[4]).unwrap();
+        assert_eq!(a.stats().traps, 2);
+        a.commit();
+        // A new interval: the same page traps again.
+        a.write(0, &[5]).unwrap();
+        assert_eq!(a.stats().traps, 3);
+    }
+
+    #[test]
+    fn commit_record_counts_dirty_pages() {
+        let mut a = Arena::new(Layout::small());
+        a.write(0, &[1]).unwrap();
+        a.write(2 * PAGE_SIZE, &[1]).unwrap();
+        let rec = a.commit();
+        assert_eq!(rec.dirty_pages, 2);
+        assert_eq!(rec.dirty_bytes, 2 * PAGE_SIZE);
+        let rec2 = a.commit();
+        assert_eq!(rec2.dirty_pages, 0);
+    }
+
+    #[test]
+    fn cross_page_write_traps_both_pages() {
+        let mut a = Arena::new(Layout::small());
+        a.write(PAGE_SIZE - 2, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(a.stats().traps, 2);
+        assert_eq!(a.dirty_page_count(), 2);
+    }
+
+    #[test]
+    fn flip_bit_is_undoable() {
+        let mut a = Arena::new(Layout::small());
+        a.write_pod(64, 0u64).unwrap();
+        a.commit();
+        a.flip_bit(64, 3).unwrap();
+        assert_eq!(a.read_pod::<u64>(64).unwrap(), 8);
+        a.rollback();
+        assert_eq!(a.read_pod::<u64>(64).unwrap(), 0);
+    }
+
+    #[test]
+    fn checksum_changes_with_content() {
+        let mut a = Arena::new(Layout::small());
+        let c0 = a.checksum(0, 128).unwrap();
+        a.write(64, &[0xFF]).unwrap();
+        let c1 = a.checksum(0, 128).unwrap();
+        assert_ne!(c0, c1);
+        assert_eq!(a.checksum(0, 128).unwrap(), c1);
+    }
+
+    #[test]
+    fn fill_works_and_traps() {
+        let mut a = Arena::new(Layout::small());
+        a.fill(100, 300, 0xAB).unwrap();
+        assert!(a.read(100, 300).unwrap().iter().all(|&b| b == 0xAB));
+        assert_eq!(a.stats().traps, 1);
+        assert!(a.fill(a.size() - 10, 20, 0).is_err());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = Arena::new(Layout::small());
+        a.write(0, &[1]).unwrap();
+        a.commit();
+        a.write(0, &[2]).unwrap();
+        a.rollback();
+        let s = a.stats();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.rollbacks, 1);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.committed_pages, 1);
+    }
+
+    #[test]
+    fn clone_preserves_contents_and_undo() {
+        let mut a = Arena::new(Layout::small());
+        a.write(0, b"persist me").unwrap();
+        a.commit();
+        a.write(0, b"scratch!!!").unwrap();
+        let mut b = a.clone();
+        assert_eq!(b.read(0, 10).unwrap(), b"scratch!!!");
+        b.rollback();
+        assert_eq!(b.read(0, 10).unwrap(), b"persist me");
+        // The original is unaffected by the clone's rollback.
+        assert_eq!(a.read(0, 10).unwrap(), b"scratch!!!");
+    }
+}

@@ -1,0 +1,96 @@
+//! Memory-fault errors.
+//!
+//! Errors from the memory substrate are how *crash events* (§2.5) manifest
+//! in the workload applications: an out-of-bounds access is a segfault, a
+//! corrupted guard band is a failed consistency check — in either case the
+//! process "simply terminates execution, effectively crashing" (§2.6).
+
+use serde::{Deserialize, Serialize};
+
+/// A memory fault: the simulation-level analogue of a segfault or a failed
+/// consistency check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemFault {
+    /// Access outside the arena (or outside an allocation's bounds when
+    /// checked access is used): a segfault.
+    OutOfBounds {
+        /// The faulting byte offset.
+        offset: usize,
+        /// The access length.
+        len: usize,
+    },
+    /// The heap (or an explicit allocation request) is exhausted.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+    },
+    /// A guard band around an allocation was overwritten: detected
+    /// corruption (a §2.6-style consistency check firing).
+    GuardCorrupted {
+        /// Offset of the corrupted guard word.
+        offset: usize,
+    },
+    /// A checksum maintained over a data structure no longer matches:
+    /// detected corruption.
+    ChecksumMismatch {
+        /// Offset of the checksummed region.
+        offset: usize,
+    },
+    /// An application-level invariant check failed (e.g. a B-tree node with
+    /// an impossible fanout). Carries a small code identifying the check.
+    InvariantViolated {
+        /// Identifier of the failed check.
+        check: u32,
+    },
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemFault::OutOfBounds { offset, len } => {
+                write!(f, "segfault: access of {len} bytes at offset {offset}")
+            }
+            MemFault::OutOfMemory { requested } => {
+                write!(f, "out of memory: {requested} bytes requested")
+            }
+            MemFault::GuardCorrupted { offset } => {
+                write!(f, "guard band corrupted at offset {offset}")
+            }
+            MemFault::ChecksumMismatch { offset } => {
+                write!(f, "checksum mismatch at offset {offset}")
+            }
+            MemFault::InvariantViolated { check } => {
+                write!(f, "invariant check {check} failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Result alias for memory operations.
+pub type MemResult<T> = Result<T, MemFault>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MemFault::OutOfBounds { offset: 4, len: 8 }
+            .to_string()
+            .contains("segfault"));
+        assert!(MemFault::OutOfMemory { requested: 100 }
+            .to_string()
+            .contains("out of memory"));
+        assert!(MemFault::GuardCorrupted { offset: 12 }
+            .to_string()
+            .contains("guard"));
+        assert!(MemFault::ChecksumMismatch { offset: 0 }
+            .to_string()
+            .contains("checksum"));
+        assert!(MemFault::InvariantViolated { check: 7 }
+            .to_string()
+            .contains("check 7"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Plain-old-data types that can live in an [`crate::arena::Arena`].
+//!
+//! `Pod` values have a fixed size and a defined little-endian byte
+//! representation, so they can be stored in raw arena pages and survive
+//! checkpoint, rollback, and bit-level fault injection. Everything is safe
+//! code: values are explicitly encoded/decoded rather than transmuted.
+
+/// A fixed-size value with a defined byte encoding.
+pub trait Pod: Copy + std::fmt::Debug {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Writes the little-endian encoding of `self` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != Self::SIZE`.
+    fn store(&self, out: &mut [u8]);
+
+    /// Reads a value from its little-endian encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != Self::SIZE`.
+    fn load(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod_int {
+    ($($t:ty),*) => {
+        $(
+            impl Pod for $t {
+                const SIZE: usize = std::mem::size_of::<$t>();
+
+                fn store(&self, out: &mut [u8]) {
+                    assert_eq!(out.len(), Self::SIZE);
+                    out.copy_from_slice(&self.to_le_bytes());
+                }
+
+                fn load(bytes: &[u8]) -> Self {
+                    assert_eq!(bytes.len(), Self::SIZE);
+                    let mut buf = [0u8; std::mem::size_of::<$t>()];
+                    buf.copy_from_slice(bytes);
+                    <$t>::from_le_bytes(buf)
+                }
+            }
+        )*
+    };
+}
+
+impl_pod_int!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl<const N: usize> Pod for [u8; N] {
+    const SIZE: usize = N;
+
+    fn store(&self, out: &mut [u8]) {
+        assert_eq!(out.len(), N);
+        out.copy_from_slice(self);
+    }
+
+    fn load(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), N);
+        let mut buf = [0u8; N];
+        buf.copy_from_slice(bytes);
+        buf
+    }
+}
+
+/// A pair of pods, stored back to back.
+impl<A: Pod, B: Pod> Pod for (A, B) {
+    const SIZE: usize = A::SIZE + B::SIZE;
+
+    fn store(&self, out: &mut [u8]) {
+        assert_eq!(out.len(), Self::SIZE);
+        self.0.store(&mut out[..A::SIZE]);
+        self.1.store(&mut out[A::SIZE..]);
+    }
+
+    fn load(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), Self::SIZE);
+        (A::load(&bytes[..A::SIZE]), B::load(&bytes[A::SIZE..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Pod + PartialEq>(v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.store(&mut buf);
+        assert_eq!(T::load(&buf), v);
+    }
+
+    #[test]
+    fn integer_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xDEADu16);
+        roundtrip(0xDEADBEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(-1i8);
+        roundtrip(i16::MIN);
+        roundtrip(-123456789i32);
+        roundtrip(i64::MIN);
+    }
+
+    #[test]
+    fn float_roundtrips() {
+        roundtrip(1.5f32);
+        roundtrip(std::f64::consts::PI);
+        roundtrip(-0.0f64);
+    }
+
+    #[test]
+    fn array_and_tuple_roundtrips() {
+        roundtrip([1u8, 2, 3, 4]);
+        roundtrip((42u32, 7u64));
+        assert_eq!(<(u32, u64)>::SIZE, 12);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut buf = [0u8; 4];
+        0x0102_0304u32.store(&mut buf);
+        assert_eq!(buf, [4, 3, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn store_wrong_size_panics() {
+        let mut buf = [0u8; 3];
+        1u32.store(&mut buf);
+    }
+}

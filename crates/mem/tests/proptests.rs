@@ -1,0 +1,158 @@
+//! Property tests for the memory substrate: rollback is exact, the arena
+//! vector behaves like `Vec`, and the allocator never hands out overlapping
+//! or unguarded blocks.
+
+use proptest::prelude::*;
+
+use ft_mem::alloc::Allocator;
+use ft_mem::arena::{Arena, Layout, PAGE_SIZE};
+use ft_mem::vec::ArenaVec;
+
+#[derive(Debug, Clone)]
+enum VecOp {
+    Push(u32),
+    Pop,
+    Set(usize, u32),
+    Insert(usize, u32),
+    Remove(usize),
+    Truncate(usize),
+}
+
+fn vec_op() -> impl Strategy<Value = VecOp> {
+    prop_oneof![
+        any::<u32>().prop_map(VecOp::Push),
+        Just(VecOp::Pop),
+        (0usize..64, any::<u32>()).prop_map(|(i, v)| VecOp::Set(i, v)),
+        (0usize..64, any::<u32>()).prop_map(|(i, v)| VecOp::Insert(i, v)),
+        (0usize..64).prop_map(VecOp::Remove),
+        (0usize..64).prop_map(VecOp::Truncate),
+    ]
+}
+
+proptest! {
+    /// ArenaVec agrees with a model Vec under arbitrary operation
+    /// sequences; out-of-bounds operations fail on both sides.
+    #[test]
+    fn arena_vec_matches_model(ops in proptest::collection::vec(vec_op(), 0..200)) {
+        let mut arena = Arena::new(Layout {
+            globals_pages: 1,
+            stack_pages: 1,
+            heap_pages: 64,
+        });
+        let mut alloc = Allocator::new(&arena);
+        let mut v = ArenaVec::<u32>::with_capacity(&mut arena, &mut alloc, 4).unwrap();
+        let mut model: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                VecOp::Push(x) => {
+                    v.push(&mut arena, &mut alloc, x).unwrap();
+                    model.push(x);
+                }
+                VecOp::Pop => {
+                    prop_assert_eq!(v.pop(&arena).unwrap(), model.pop());
+                }
+                VecOp::Set(i, x) => {
+                    let ok = v.set(&mut arena, i, x).is_ok();
+                    prop_assert_eq!(ok, i < model.len());
+                    if ok {
+                        model[i] = x;
+                    }
+                }
+                VecOp::Insert(i, x) => {
+                    let ok = v.insert(&mut arena, &mut alloc, i, x).is_ok();
+                    prop_assert_eq!(ok, i <= model.len());
+                    if ok {
+                        model.insert(i, x);
+                    }
+                }
+                VecOp::Remove(i) => {
+                    let r = v.remove(&mut arena, i);
+                    if i < model.len() {
+                        prop_assert_eq!(r.unwrap(), model.remove(i));
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                VecOp::Truncate(n) => {
+                    v.truncate(n);
+                    model.truncate(n);
+                }
+            }
+            prop_assert_eq!(v.len(), model.len());
+        }
+        prop_assert_eq!(v.to_vec(&arena).unwrap(), model);
+        prop_assert!(alloc.check_integrity(&arena).is_ok());
+    }
+
+    /// Rollback exactly restores the last committed image, no matter what
+    /// writes happened since.
+    #[test]
+    fn rollback_is_exact(
+        committed in proptest::collection::vec((0usize..8 * PAGE_SIZE - 9, any::<u64>()), 0..40),
+        scratch in proptest::collection::vec((0usize..8 * PAGE_SIZE - 9, any::<u64>()), 0..40),
+    ) {
+        let mut arena = Arena::new(Layout {
+            globals_pages: 2,
+            stack_pages: 2,
+            heap_pages: 4,
+        });
+        for &(off, val) in &committed {
+            arena.write_pod(off, val).unwrap();
+        }
+        let snapshot: Vec<u8> = arena.read(0, arena.size()).unwrap().to_vec();
+        arena.commit();
+        for &(off, val) in &scratch {
+            arena.write_pod(off, val).unwrap();
+        }
+        arena.rollback();
+        prop_assert_eq!(arena.read(0, arena.size()).unwrap(), &snapshot[..]);
+        // Idempotent: rolling back again changes nothing.
+        arena.rollback();
+        prop_assert_eq!(arena.read(0, arena.size()).unwrap(), &snapshot[..]);
+    }
+
+    /// Live allocations never overlap each other (or their guard words).
+    #[test]
+    fn allocations_never_overlap(sizes in proptest::collection::vec(1usize..512, 1..60)) {
+        let mut arena = Arena::new(Layout {
+            globals_pages: 1,
+            stack_pages: 1,
+            heap_pages: 64,
+        });
+        let mut alloc = Allocator::new(&arena);
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            let off = alloc.alloc(&mut arena, sz).unwrap();
+            // Include guards in the span: [off-16, off+sz+8).
+            spans.push((off - 16, off + sz + 8));
+            // Free every third allocation to exercise the free list.
+            if i % 3 == 2 {
+                let (s, _) = spans.pop().unwrap();
+                alloc.free(&arena, s + 16).unwrap();
+            }
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+        }
+        prop_assert!(alloc.check_integrity(&arena).is_ok());
+    }
+
+    /// Commit counts dirty pages exactly: the number of distinct pages
+    /// touched since the last commit.
+    #[test]
+    fn commit_counts_distinct_pages(offs in proptest::collection::vec(0usize..16 * PAGE_SIZE - 1, 1..100)) {
+        let mut arena = Arena::new(Layout {
+            globals_pages: 8,
+            stack_pages: 4,
+            heap_pages: 4,
+        });
+        let mut pages = std::collections::HashSet::new();
+        for &off in &offs {
+            arena.write(off, &[1]).unwrap();
+            pages.insert(off / PAGE_SIZE);
+        }
+        let rec = arena.commit();
+        prop_assert_eq!(rec.dirty_pages, pages.len());
+    }
+}

@@ -1,0 +1,321 @@
+//! The simulated per-node operating system kernel.
+//!
+//! Holds the state the paper's OS-fault study stresses: an open-file table
+//! of fixed size (whose occupancy makes `open` a *fixed* non-deterministic
+//! event), a buffer-cache filesystem with finite free space (making `write`
+//! fixed non-deterministic), and the fault-injection hooks of §4.2 — a
+//! kernel fault either panics the node immediately (a stop failure) or
+//! corrupts the next few syscall results seen by applications before
+//! panicking (a propagation failure).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SplitMix64;
+
+use crate::syscalls::{SysError, SysResult};
+
+/// An open-file-table entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OpenFile {
+    name: String,
+    pos: usize,
+}
+
+/// A simulated kernel instance (one per node).
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    table: Vec<Option<OpenFile>>,
+    files: HashMap<String, Vec<u8>>,
+    disk_free: u64,
+    /// Propagation-fault state: from `start` onward, corrupt the next
+    /// `remaining` syscall results, then panic.
+    corrupt_plan: Option<(u64, u32)>,
+    /// The kernel has halted; every syscall fails and the node's processes
+    /// stop.
+    panicked: bool,
+    rng: SplitMix64,
+    /// Count of syscalls serviced (drives the §4.2 analysis of syscall rate
+    /// vs. propagation probability).
+    pub syscalls_serviced: u64,
+}
+
+impl Kernel {
+    /// Creates a kernel with `table_size` open-file slots and `disk_free`
+    /// bytes of disk.
+    pub fn new(table_size: usize, disk_free: u64, seed: u64) -> Self {
+        Kernel {
+            table: vec![None; table_size],
+            files: HashMap::new(),
+            disk_free,
+            corrupt_plan: None,
+            panicked: false,
+            rng: SplitMix64::new(seed),
+            syscalls_serviced: 0,
+        }
+    }
+
+    /// Has the kernel panicked?
+    pub fn panicked(&self) -> bool {
+        self.panicked
+    }
+
+    /// Remaining disk space.
+    pub fn disk_free(&self) -> u64 {
+        self.disk_free
+    }
+
+    /// Halts the kernel immediately (a stop failure for the whole node).
+    pub fn panic_now(&mut self) {
+        self.panicked = true;
+    }
+
+    /// Arms a propagation failure: the next `n` syscall results (starting
+    /// immediately) are corrupted, then the kernel panics.
+    pub fn corrupt_next(&mut self, n: u32) {
+        self.corrupt_plan = Some((0, n));
+    }
+
+    /// Arms a propagation failure that begins at simulated time `start`:
+    /// from then on the next `n` syscall results are corrupted, then the
+    /// kernel panics of its own corruption. Whether the application catches
+    /// any corrupted result before the node dies depends entirely on its
+    /// syscall *rate* — the §4.2 mechanism.
+    pub fn arm_corruption(&mut self, start: u64, n: u32) {
+        self.corrupt_plan = Some((start, n));
+    }
+
+    /// Is the kernel currently or prospectively corrupting results?
+    pub fn corrupting(&self) -> bool {
+        self.corrupt_plan.is_some()
+    }
+
+    /// Clears any armed corruption and the panic flag — what a reboot does
+    /// to an in-memory kernel bug.
+    pub fn reboot(&mut self) {
+        self.corrupt_plan = None;
+        self.panicked = false;
+    }
+
+    /// Called by the syscall layer on every serviced call; returns true if
+    /// this call's result must be corrupted. Decrements the corruption
+    /// budget and panics the kernel when it runs out.
+    pub fn tick_corruption(&mut self, now: u64) -> bool {
+        self.syscalls_serviced += 1;
+        match self.corrupt_plan {
+            Some((start, _)) if now < start => false,
+            None => false,
+            Some((_, 0)) => {
+                self.corrupt_plan = None;
+                self.panicked = true;
+                false
+            }
+            Some((start, n)) => {
+                self.corrupt_plan = Some((start, n - 1));
+                true
+            }
+        }
+    }
+
+    /// Corrupts a byte buffer in place (used when
+    /// [`Kernel::tick_corruption`] fired).
+    pub fn corrupt_bytes(&mut self, bytes: &mut [u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let i = self.rng.index(bytes.len());
+        let bit = self.rng.below(8);
+        bytes[i] ^= 1 << bit;
+    }
+
+    /// Corrupts a scalar value.
+    pub fn corrupt_u64(&mut self, v: u64) -> u64 {
+        v ^ (1 << self.rng.below(64))
+    }
+
+    fn guard(&self) -> SysResult<()> {
+        if self.panicked {
+            Err(SysError::KernelPanic)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Opens (creating if absent) `name`, returning a descriptor.
+    pub fn open(&mut self, name: &str) -> SysResult<u32> {
+        self.guard()?;
+        let slot = self
+            .table
+            .iter()
+            .position(Option::is_none)
+            .ok_or(SysError::TableFull)?;
+        self.files.entry(name.to_string()).or_default();
+        self.table[slot] = Some(OpenFile {
+            name: name.to_string(),
+            pos: 0,
+        });
+        Ok(slot as u32)
+    }
+
+    /// Appends to the file behind `fd`.
+    pub fn write(&mut self, fd: u32, bytes: &[u8]) -> SysResult<()> {
+        self.guard()?;
+        let entry = self
+            .table
+            .get(fd as usize)
+            .and_then(Option::as_ref)
+            .ok_or(SysError::BadFd)?;
+        if (bytes.len() as u64) > self.disk_free {
+            return Err(SysError::NoSpace);
+        }
+        let name = entry.name.clone();
+        self.disk_free -= bytes.len() as u64;
+        self.files
+            .get_mut(&name)
+            .expect("open file exists")
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads up to `len` bytes from the current position.
+    pub fn read(&mut self, fd: u32, len: usize) -> SysResult<Vec<u8>> {
+        self.guard()?;
+        let entry = self
+            .table
+            .get_mut(fd as usize)
+            .and_then(Option::as_mut)
+            .ok_or(SysError::BadFd)?;
+        let data = self.files.get(&entry.name).ok_or(SysError::NoSuchFile)?;
+        let start = entry.pos.min(data.len());
+        let end = (start + len).min(data.len());
+        entry.pos = end;
+        Ok(data[start..end].to_vec())
+    }
+
+    /// Closes a descriptor.
+    pub fn close(&mut self, fd: u32) -> SysResult<()> {
+        self.guard()?;
+        let slot = self.table.get_mut(fd as usize).ok_or(SysError::BadFd)?;
+        if slot.is_none() {
+            return Err(SysError::BadFd);
+        }
+        *slot = None;
+        Ok(())
+    }
+
+    /// Number of free open-file slots.
+    pub fn free_slots(&self) -> usize {
+        self.table.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Reads a whole file's contents (test/inspection helper).
+    pub fn file_contents(&self, name: &str) -> Option<&[u8]> {
+        self.files.get(name).map(Vec::as_slice)
+    }
+
+    /// Clones the whole filesystem (test/inspection helper).
+    pub fn files_snapshot(&self) -> HashMap<String, Vec<u8>> {
+        self.files.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k() -> Kernel {
+        Kernel::new(4, 1000, 42)
+    }
+
+    #[test]
+    fn open_write_read_close() {
+        let mut k = k();
+        let fd = k.open("data").unwrap();
+        k.write(fd, b"hello").unwrap();
+        assert_eq!(k.read(fd, 5).unwrap(), b"hello");
+        assert_eq!(k.read(fd, 5).unwrap(), b"");
+        k.close(fd).unwrap();
+        assert!(k.read(fd, 1).is_err());
+        assert_eq!(k.file_contents("data").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn table_exhaustion_is_fixed_nd_outcome() {
+        let mut k = k();
+        for i in 0..4 {
+            k.open(&format!("f{i}")).unwrap();
+        }
+        assert_eq!(k.free_slots(), 0);
+        assert_eq!(k.open("f5"), Err(SysError::TableFull));
+        k.close(0).unwrap();
+        assert!(k.open("f5").is_ok());
+    }
+
+    #[test]
+    fn disk_fullness_is_fixed_nd_outcome() {
+        let mut k = Kernel::new(4, 10, 1);
+        let fd = k.open("f").unwrap();
+        k.write(fd, &[0; 8]).unwrap();
+        assert_eq!(k.write(fd, &[0; 8]), Err(SysError::NoSpace));
+        assert_eq!(k.disk_free(), 2);
+        k.write(fd, &[0; 2]).unwrap();
+        assert_eq!(k.disk_free(), 0);
+    }
+
+    #[test]
+    fn panic_fails_everything() {
+        let mut k = k();
+        let fd = k.open("f").unwrap();
+        k.panic_now();
+        assert!(k.panicked());
+        assert_eq!(k.open("g"), Err(SysError::KernelPanic));
+        assert_eq!(k.write(fd, b"x"), Err(SysError::KernelPanic));
+    }
+
+    #[test]
+    fn corruption_budget_then_panic() {
+        let mut k = k();
+        k.corrupt_next(2);
+        assert!(k.tick_corruption(0));
+        assert!(k.tick_corruption(1));
+        assert!(!k.tick_corruption(2)); // Budget exhausted → panic.
+        assert!(k.panicked());
+    }
+
+    #[test]
+    fn corrupt_zero_panics_without_corrupting() {
+        let mut k = k();
+        k.corrupt_next(0);
+        assert!(!k.tick_corruption(0));
+        assert!(k.panicked());
+    }
+
+    #[test]
+    fn armed_corruption_waits_for_its_start_time() {
+        let mut k = k();
+        k.arm_corruption(100, 1);
+        assert!(!k.tick_corruption(50), "not started yet");
+        assert!(k.tick_corruption(100));
+        assert!(!k.tick_corruption(101));
+        assert!(k.panicked());
+    }
+
+    #[test]
+    fn corrupt_bytes_flips_exactly_one_bit() {
+        let mut k = k();
+        let mut buf = vec![0u8; 16];
+        k.corrupt_bytes(&mut buf);
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1);
+        assert_ne!(k.corrupt_u64(0), 0);
+    }
+
+    #[test]
+    fn syscall_counter_increments() {
+        let mut k = k();
+        assert!(!k.tick_corruption(0));
+        assert!(!k.tick_corruption(1));
+        assert_eq!(k.syscalls_serviced, 2);
+    }
+}

@@ -1,0 +1,439 @@
+//! The simulated network: per-channel message buffers with sender-side
+//! recovery semantics.
+//!
+//! §2.1: "for receive events to be redoable, messages must be saved at
+//! either the sender or receiver so they can be re-delivered after a
+//! failure." Every ordered process pair has a [`Channel`] that retains all
+//! messages ever sent on it, plus a delivery cursor. Recovery rewinds the
+//! receiver's cursor to its last committed consumption count (re-delivery),
+//! deduplicates re-sends during deterministic replay (same per-channel
+//! sequence number), and *withdraws* tainted messages — messages sent while
+//! the sender had uncommitted non-determinism — when the sender rolls back
+//! past them, reporting which receivers consumed withdrawn messages so the
+//! recovery manager can cascade their rollback.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use ft_core::event::{MsgId, ProcessId};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::SimTime;
+use crate::syscalls::Message;
+
+/// A message retained in a channel buffer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredMsg {
+    /// Sender-assigned per-channel sequence number.
+    pub seq: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Sender's dependency snapshot.
+    pub deps: BTreeSet<u32>,
+    /// Sent while the sender had uncommitted non-determinism.
+    pub tainted: bool,
+    /// Simulated delivery time.
+    pub deliver_at: SimTime,
+    /// The trace event id of the send, so receives join the right clock.
+    pub trace_msg: MsgId,
+}
+
+/// One ordered-pair channel.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Channel {
+    msgs: Vec<StoredMsg>,
+    /// Index of the next message to deliver to the receiver.
+    cursor: usize,
+}
+
+impl Channel {
+    /// Number of messages consumed by the receiver so far.
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+
+    /// All retained messages.
+    pub fn messages(&self) -> &[StoredMsg] {
+        &self.msgs
+    }
+}
+
+/// The network fabric.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    // A BTreeMap so every scan is in (from, to) order: `try_recv` breaks
+    // same-instant delivery ties toward the lowest sender id DETERMINISTICALLY.
+    // A HashMap here once made replay order differ between the original run
+    // and a recovery's re-execution, breaking log-based protocols.
+    channels: BTreeMap<(u32, u32), Channel>,
+}
+
+/// Outcome of [`Network::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message was enqueued; it will be deliverable at this time.
+    Enqueued(SimTime),
+    /// A replayed duplicate (same channel sequence): dropped; the original
+    /// buffered copy (deliverable at this time) stands.
+    Duplicate(SimTime),
+}
+
+impl SendOutcome {
+    /// The effective delivery time either way.
+    pub fn deliver_at(self) -> SimTime {
+        match self {
+            SendOutcome::Enqueued(t) | SendOutcome::Duplicate(t) => t,
+        }
+    }
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    fn channel_mut(&mut self, from: ProcessId, to: ProcessId) -> &mut Channel {
+        self.channels.entry((from.0, to.0)).or_default()
+    }
+
+    /// Enqueues a message. Re-sends of an already-buffered sequence number
+    /// (deterministic replay after a failure) are deduplicated.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        seq: u64,
+        payload: Vec<u8>,
+        deps: BTreeSet<u32>,
+        tainted: bool,
+        deliver_at: SimTime,
+        trace_msg: MsgId,
+    ) -> SendOutcome {
+        let ch = self.channel_mut(from, to);
+        if let Some(existing) = ch.msgs.iter().find(|m| m.seq == seq) {
+            return SendOutcome::Duplicate(existing.deliver_at);
+        }
+        ch.msgs.push(StoredMsg {
+            seq,
+            payload,
+            deps,
+            tainted,
+            deliver_at,
+            trace_msg,
+        });
+        SendOutcome::Enqueued(deliver_at)
+    }
+
+    /// Delivers the next deliverable message for `to` (the earliest
+    /// `deliver_at` at or before `now` across all of `to`'s channels).
+    /// Returns the message plus its trace id.
+    pub fn try_recv(&mut self, to: ProcessId, now: SimTime) -> Option<(Message, MsgId)> {
+        let mut best: Option<(u32, SimTime)> = None;
+        for (&(from, t), ch) in &self.channels {
+            if t != to.0 {
+                continue;
+            }
+            if let Some(m) = ch.msgs.get(ch.cursor) {
+                if m.deliver_at <= now && best.is_none_or(|(_, bt)| m.deliver_at < bt) {
+                    best = Some((from, m.deliver_at));
+                }
+            }
+        }
+        let (from, _) = best?;
+        let ch = self
+            .channels
+            .get_mut(&(from, to.0))
+            .expect("channel exists");
+        let m = &ch.msgs[ch.cursor];
+        ch.cursor += 1;
+        Some((
+            Message {
+                from: ProcessId(from),
+                seq: m.seq,
+                payload: m.payload.clone(),
+                deps: m.deps.clone(),
+                tainted: m.tainted,
+            },
+            m.trace_msg,
+        ))
+    }
+
+    /// The earliest pending delivery time for `to`, if any message is
+    /// buffered and unconsumed.
+    pub fn earliest_pending(&self, to: ProcessId) -> Option<SimTime> {
+        self.channels
+            .iter()
+            .filter(|(&(_, t), _)| t == to.0)
+            .filter_map(|(_, ch)| ch.msgs.get(ch.cursor).map(|m| m.deliver_at))
+            .min()
+    }
+
+    /// Snapshot of `to`'s per-sender consumption counts (taken at commit
+    /// time by the recovery runtime).
+    pub fn consumed_counts(&self, to: ProcessId) -> HashMap<u32, usize> {
+        self.channels
+            .iter()
+            .filter(|(&(_, t), _)| t == to.0)
+            .map(|(&(from, _), ch)| (from, ch.cursor))
+            .collect()
+    }
+
+    /// Rewinds `to`'s delivery cursors to a committed snapshot: messages
+    /// consumed after the snapshot will be re-delivered.
+    pub fn rewind_receiver(&mut self, to: ProcessId, counts: &HashMap<u32, usize>) {
+        for (&(from, t), ch) in self.channels.iter_mut() {
+            if t != to.0 {
+                continue;
+            }
+            ch.cursor = counts.get(&from).copied().unwrap_or(0).min(ch.msgs.len());
+        }
+    }
+
+    /// Withdraws tainted messages `from` sent at-or-after the given
+    /// per-channel sequence floor (its committed send counts): the sender
+    /// rolled back past them and may not regenerate them. Untainted
+    /// messages beyond the floor are kept — the sender's replay is
+    /// deterministic up to them and dedup will match the re-sends.
+    ///
+    /// Returns the receivers that had already consumed a withdrawn message;
+    /// the recovery manager must cascade their rollback.
+    pub fn withdraw_tainted(
+        &mut self,
+        from: ProcessId,
+        committed_send_counts: &HashMap<u32, u64>,
+    ) -> Vec<ProcessId> {
+        let mut cascade = Vec::new();
+        for (&(f, to), ch) in self.channels.iter_mut() {
+            if f != from.0 {
+                continue;
+            }
+            let floor = committed_send_counts.get(&to).copied().unwrap_or(0);
+            let mut kept = Vec::with_capacity(ch.msgs.len());
+            let mut removed_consumed = false;
+            for (i, m) in ch.msgs.drain(..).enumerate() {
+                if m.seq >= floor && m.tainted {
+                    if i < ch.cursor {
+                        removed_consumed = true;
+                    }
+                    continue;
+                }
+                kept.push(m);
+            }
+            // Recompute the cursor: count of kept messages that were
+            // already consumed. Conservatively, clamp to kept length.
+            if removed_consumed {
+                cascade.push(ProcessId(to));
+            }
+            let consumed_before = ch.cursor;
+            ch.cursor = kept
+                .iter()
+                .enumerate()
+                .take_while(|(i, _)| *i < consumed_before)
+                .count()
+                .min(kept.len());
+            ch.msgs = kept;
+        }
+        cascade
+    }
+
+    /// Read access to a channel (tests / inspection).
+    pub fn channel(&self, from: ProcessId, to: ProcessId) -> Option<&Channel> {
+        self.channels.get(&(from.0, to.0))
+    }
+
+    /// Total buffered messages (tests).
+    pub fn total_buffered(&self) -> usize {
+        self.channels.values().map(|c| c.msgs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn mid(i: u64) -> MsgId {
+        MsgId(i)
+    }
+
+    #[test]
+    fn send_and_receive_in_delivery_order() {
+        let mut n = Network::new();
+        n.send(
+            p(0),
+            p(1),
+            0,
+            b"a".to_vec(),
+            Default::default(),
+            false,
+            100,
+            mid(0),
+        );
+        n.send(
+            p(2),
+            p(1),
+            0,
+            b"b".to_vec(),
+            Default::default(),
+            false,
+            50,
+            mid(1),
+        );
+        // Not deliverable before their times.
+        assert!(n.try_recv(p(1), 10).is_none());
+        let (m, _) = n.try_recv(p(1), 200).unwrap();
+        assert_eq!(m.payload, b"b"); // Earlier delivery wins.
+        let (m, t) = n.try_recv(p(1), 200).unwrap();
+        assert_eq!(m.payload, b"a");
+        assert_eq!(t, mid(0));
+        assert!(n.try_recv(p(1), 999).is_none());
+    }
+
+    #[test]
+    fn duplicate_sends_are_dropped() {
+        let mut n = Network::new();
+        let o1 = n.send(
+            p(0),
+            p(1),
+            7,
+            b"x".to_vec(),
+            Default::default(),
+            false,
+            10,
+            mid(0),
+        );
+        let o2 = n.send(
+            p(0),
+            p(1),
+            7,
+            b"x".to_vec(),
+            Default::default(),
+            false,
+            99,
+            mid(5),
+        );
+        assert_eq!(o1, SendOutcome::Enqueued(10));
+        assert_eq!(o2, SendOutcome::Duplicate(10));
+        assert_eq!(n.total_buffered(), 1);
+    }
+
+    #[test]
+    fn rewind_replays_consumed_messages() {
+        let mut n = Network::new();
+        n.send(
+            p(0),
+            p(1),
+            0,
+            b"a".to_vec(),
+            Default::default(),
+            false,
+            0,
+            mid(0),
+        );
+        n.send(
+            p(0),
+            p(1),
+            1,
+            b"b".to_vec(),
+            Default::default(),
+            false,
+            0,
+            mid(1),
+        );
+        let committed = n.consumed_counts(p(1)); // 0 consumed.
+        n.try_recv(p(1), 10).unwrap();
+        n.try_recv(p(1), 10).unwrap();
+        n.rewind_receiver(p(1), &committed);
+        let (m, _) = n.try_recv(p(1), 10).unwrap();
+        assert_eq!(m.payload, b"a", "re-delivered after rollback");
+    }
+
+    #[test]
+    fn earliest_pending_sees_unconsumed_only() {
+        let mut n = Network::new();
+        assert_eq!(n.earliest_pending(p(1)), None);
+        n.send(p(0), p(1), 0, vec![], Default::default(), false, 77, mid(0));
+        assert_eq!(n.earliest_pending(p(1)), Some(77));
+        n.try_recv(p(1), 100).unwrap();
+        assert_eq!(n.earliest_pending(p(1)), None);
+    }
+
+    #[test]
+    fn withdraw_tainted_removes_only_uncommitted_tainted() {
+        let mut n = Network::new();
+        // seq 0: committed (floor 1). seq 1: tainted, uncommitted. seq 2:
+        // clean, uncommitted (kept for deterministic replay dedup).
+        n.send(
+            p(0),
+            p(1),
+            0,
+            b"c".to_vec(),
+            Default::default(),
+            true,
+            0,
+            mid(0),
+        );
+        n.send(
+            p(0),
+            p(1),
+            1,
+            b"t".to_vec(),
+            Default::default(),
+            true,
+            0,
+            mid(1),
+        );
+        n.send(
+            p(0),
+            p(1),
+            2,
+            b"k".to_vec(),
+            Default::default(),
+            false,
+            0,
+            mid(2),
+        );
+        let mut counts = HashMap::new();
+        counts.insert(1u32, 1u64);
+        let cascade = n.withdraw_tainted(p(0), &counts);
+        assert!(cascade.is_empty(), "nothing consumed yet");
+        let ch = n.channel(p(0), p(1)).unwrap();
+        assert_eq!(ch.messages().len(), 2);
+        assert_eq!(ch.messages()[0].seq, 0);
+        assert_eq!(ch.messages()[1].seq, 2);
+    }
+
+    #[test]
+    fn withdrawing_consumed_message_cascades() {
+        let mut n = Network::new();
+        n.send(
+            p(0),
+            p(1),
+            0,
+            b"t".to_vec(),
+            Default::default(),
+            true,
+            0,
+            mid(0),
+        );
+        n.try_recv(p(1), 10).unwrap();
+        let cascade = n.withdraw_tainted(p(0), &HashMap::new());
+        assert_eq!(cascade, vec![p(1)]);
+        assert_eq!(n.total_buffered(), 0);
+    }
+
+    #[test]
+    fn consumed_counts_snapshot() {
+        let mut n = Network::new();
+        n.send(p(0), p(1), 0, vec![], Default::default(), false, 0, mid(0));
+        n.send(p(2), p(1), 0, vec![], Default::default(), false, 0, mid(1));
+        n.try_recv(p(1), 10).unwrap();
+        let counts = n.consumed_counts(p(1));
+        let total: usize = counts.values().sum();
+        assert_eq!(total, 1);
+    }
+}

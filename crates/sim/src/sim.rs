@@ -1,0 +1,842 @@
+//! The discrete-event simulator: scheduler, syscall context, failures.
+//!
+//! A [`Simulator`] owns the substrate — simulated clock, per-node kernels,
+//! network, input scripts, signal schedules, and the trace recorder — while
+//! the *harness* (plain in tests, or `ft-dc`'s checkpointing runtime) owns
+//! the application objects and their arenas. The run loop is external:
+//!
+//! ```text
+//! while let Some(wake) = sim.next_wake() {
+//!     match wake {
+//!         Wake::Step(pid)   => { let mut ctx = sim.ctx(pid);
+//!                                let st = app.step(&mut arena, &mut ctx);
+//!                                let el = ctx.elapsed();
+//!                                sim.finish_step(pid, st, el); }
+//!         Wake::Killed(pid) => { /* stop failure: run recovery */ }
+//!     }
+//! }
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+
+use crate::cost::{CostModel, SimTime};
+use crate::kernel::Kernel;
+use crate::net::Network;
+use crate::rng::SplitMix64;
+use crate::script::{InputScript, SignalSchedule};
+use crate::syscalls::{AppStatus, Message, SysError, SysResult, Syscalls, WaitCond};
+use ft_core::event::{NdSource, ProcessId};
+use ft_core::trace::{Trace, TraceBuilder};
+use ft_mem::error::MemResult;
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of processes.
+    pub n_procs: usize,
+    /// RNG seed (full determinism given the seed).
+    pub seed: u64,
+    /// Cost constants.
+    pub cost: CostModel,
+    /// Node hosting each process.
+    pub node_of: Vec<usize>,
+    /// Open-file-table slots per node.
+    pub file_table_size: usize,
+    /// Free disk bytes per node.
+    pub disk_free: u64,
+}
+
+impl SimConfig {
+    /// All processes on a single node.
+    pub fn single_node(n_procs: usize, seed: u64) -> Self {
+        SimConfig {
+            n_procs,
+            seed,
+            cost: CostModel::default(),
+            node_of: vec![0; n_procs],
+            file_table_size: 64,
+            disk_free: 1 << 30,
+        }
+    }
+
+    /// One node per process (the distributed workloads).
+    pub fn one_node_each(n_procs: usize, seed: u64) -> Self {
+        SimConfig {
+            n_procs,
+            seed,
+            cost: CostModel::default(),
+            node_of: (0..n_procs).collect(),
+            file_table_size: 64,
+            disk_free: 1 << 30,
+        }
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.node_of.iter().copied().max().unwrap_or(0) + 1
+    }
+}
+
+/// Why the scheduler woke the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// Run one step of this process (then call
+    /// [`Simulator::finish_step`]).
+    Step(ProcessId),
+    /// The process was hit by a stop failure (killed, or its node's kernel
+    /// panicked). The harness may run recovery and
+    /// [`Simulator::respawn`].
+    Killed(ProcessId),
+}
+
+/// Outcome reported by [`Simulator::finish_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The process was rescheduled (running or blocked).
+    Scheduled,
+    /// The process completed.
+    Done,
+    /// The process crashed (a crash event was recorded); the harness may
+    /// run recovery and [`Simulator::respawn`].
+    Crashed(ft_mem::error::MemFault),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(WaitCond),
+    Done,
+    Crashed,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum QEv {
+    Ready { pid: u32, gen: u64 },
+    Deliver { pid: u32 },
+    Signal { pid: u32 },
+    Kill { pid: u32 },
+}
+
+/// Per-process accounting, for experiment reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Syscalls issued.
+    pub syscalls: u64,
+    /// Messages sent.
+    pub sends: u64,
+    /// Messages received.
+    pub recvs: u64,
+    /// Visible events emitted.
+    pub visibles: u64,
+    /// Non-deterministic events executed (including receives).
+    pub nd_events: u64,
+    /// Commit events executed (recorded by the recovery runtime).
+    pub commits: u64,
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    cfg: SimConfig,
+    now: SimTime,
+    queue: BinaryHeap<Reverse<(SimTime, u64, QEv)>>,
+    qseq: u64,
+    status: Vec<Status>,
+    gen: Vec<u64>,
+    pending_delay: Vec<SimTime>,
+    kernels: Vec<Kernel>,
+    net: Network,
+    scripts: Vec<InputScript>,
+    signals: Vec<SignalSchedule>,
+    tracer: TraceBuilder,
+    visible_log: Vec<(SimTime, ProcessId, u64)>,
+    send_seqs: Vec<HashMap<u32, u64>>,
+    stats: Vec<ProcStats>,
+    rng: SplitMix64,
+    nodes_killed: Vec<bool>,
+}
+
+impl Simulator {
+    /// Creates a simulator; all processes start runnable at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.node_of` does not cover every process.
+    pub fn new(cfg: SimConfig) -> Self {
+        assert_eq!(
+            cfg.node_of.len(),
+            cfg.n_procs,
+            "node_of must cover all processes"
+        );
+        let n = cfg.n_procs;
+        let n_nodes = cfg.n_nodes();
+        let mut sim = Simulator {
+            now: 0,
+            queue: BinaryHeap::new(),
+            qseq: 0,
+            status: vec![Status::Runnable; n],
+            gen: vec![0; n],
+            pending_delay: vec![0; n],
+            kernels: (0..n_nodes)
+                .map(|i| {
+                    Kernel::new(
+                        cfg.file_table_size,
+                        cfg.disk_free,
+                        cfg.seed ^ (i as u64) << 32,
+                    )
+                })
+                .collect(),
+            net: Network::new(),
+            scripts: vec![InputScript::default(); n],
+            signals: vec![SignalSchedule::default(); n],
+            tracer: TraceBuilder::new(n),
+            visible_log: Vec::new(),
+            send_seqs: vec![HashMap::new(); n],
+            stats: vec![ProcStats::default(); n],
+            rng: SplitMix64::new(cfg.seed),
+            nodes_killed: vec![false; n_nodes],
+            cfg,
+        };
+        for p in 0..n {
+            let gen = sim.gen[p];
+            sim.push(0, QEv::Ready { pid: p as u32, gen });
+        }
+        sim
+    }
+
+    fn push(&mut self, t: SimTime, ev: QEv) {
+        self.qseq += 1;
+        self.queue.push(Reverse((t, self.qseq, ev)));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Installs a process's input script.
+    pub fn set_input_script(&mut self, pid: ProcessId, script: InputScript) {
+        self.scripts[pid.index()] = script;
+    }
+
+    /// Installs a process's signal schedule (also schedules wakeups so
+    /// blocked processes see their signals).
+    pub fn set_signal_schedule(&mut self, pid: ProcessId, sched: SignalSchedule) {
+        let times: Vec<SimTime> = sched.pending_times().collect();
+        self.signals[pid.index()] = sched;
+        for t in times {
+            self.push(t, QEv::Signal { pid: pid.0 });
+        }
+    }
+
+    /// Schedules a stop failure: the process is killed at `t`.
+    pub fn kill_at(&mut self, pid: ProcessId, t: SimTime) {
+        self.push(t, QEv::Kill { pid: pid.0 });
+    }
+
+    /// Pops the next wake event, advancing simulated time.
+    pub fn next_wake(&mut self) -> Option<Wake> {
+        while let Some(Reverse((t, _, ev))) = self.queue.pop() {
+            self.now = self.now.max(t);
+            match ev {
+                QEv::Ready { pid, gen } => {
+                    let p = pid as usize;
+                    if self.gen[p] == gen
+                        && matches!(self.status[p], Status::Runnable | Status::Blocked(_))
+                    {
+                        // A Ready event wakes both runnable processes and
+                        // blocked processes whose definite wake (input due,
+                        // timeout) has arrived.
+                        self.status[p] = Status::Runnable;
+                        return Some(Wake::Step(ProcessId(pid)));
+                    }
+                }
+                QEv::Deliver { pid } => {
+                    let p = pid as usize;
+                    if let Status::Blocked(cond) = self.status[p] {
+                        if cond.message
+                            && self
+                                .net
+                                .earliest_pending(ProcessId(pid))
+                                .is_some_and(|d| d <= self.now)
+                        {
+                            self.status[p] = Status::Runnable;
+                            self.gen[p] += 1;
+                            return Some(Wake::Step(ProcessId(pid)));
+                        }
+                    }
+                }
+                QEv::Signal { pid } => {
+                    let p = pid as usize;
+                    if matches!(self.status[p], Status::Blocked(_)) {
+                        // Signals interrupt blocking syscalls.
+                        self.status[p] = Status::Runnable;
+                        self.gen[p] += 1;
+                        return Some(Wake::Step(ProcessId(pid)));
+                    }
+                }
+                QEv::Kill { pid } => {
+                    let p = pid as usize;
+                    if !matches!(self.status[p], Status::Done | Status::Crashed) {
+                        self.status[p] = Status::Crashed;
+                        self.gen[p] += 1;
+                        // A stop failure is a crash event in the §2.2 model.
+                        self.tracer.crash(ProcessId(pid));
+                        return Some(Wake::Killed(ProcessId(pid)));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Begins a step for `pid`, returning the syscall context the
+    /// application runs against.
+    pub fn ctx(&mut self, pid: ProcessId) -> SysCtx<'_> {
+        SysCtx {
+            sim: self,
+            pid,
+            elapsed: 0,
+            log_next: false,
+            send_meta: None,
+        }
+    }
+
+    /// Completes a step: reschedules (or finalizes) the process and records
+    /// crash events.
+    pub fn finish_step(
+        &mut self,
+        pid: ProcessId,
+        status: MemResult<AppStatus>,
+        elapsed: SimTime,
+    ) -> StepOutcome {
+        let p = pid.index();
+        let end = self.now + elapsed + std::mem::take(&mut self.pending_delay[p]);
+        let outcome = match status {
+            Ok(AppStatus::Running) => {
+                self.status[p] = Status::Runnable;
+                self.gen[p] += 1;
+                let gen = self.gen[p];
+                self.push(end, QEv::Ready { pid: pid.0, gen });
+                StepOutcome::Scheduled
+            }
+            Ok(AppStatus::Blocked(cond)) => {
+                self.status[p] = Status::Blocked(cond);
+                self.gen[p] += 1;
+                let gen = self.gen[p];
+                let mut wake: Option<SimTime> = None;
+                if cond.input {
+                    if let Some(t) = self.scripts[p].next_time() {
+                        wake = Some(wake.map_or(t, |w| w.min(t)));
+                    }
+                }
+                if let Some(t) = cond.until {
+                    wake = Some(wake.map_or(t, |w| w.min(t)));
+                }
+                if cond.message {
+                    if let Some(d) = self.net.earliest_pending(pid) {
+                        wake = Some(wake.map_or(d, |w| w.min(d)));
+                    }
+                }
+                if let Some(t) = wake {
+                    // The definite wake: a Ready event that next_wake will
+                    // honor for blocked processes (gen-gated, so an earlier
+                    // Deliver or Signal wake makes it stale).
+                    self.push(t.max(end), QEv::Ready { pid: pid.0, gen });
+                }
+                StepOutcome::Scheduled
+            }
+            Ok(AppStatus::Done) => {
+                self.status[p] = Status::Done;
+                self.gen[p] += 1;
+                StepOutcome::Done
+            }
+            Err(fault) => {
+                self.tracer.crash(pid);
+                self.status[p] = Status::Crashed;
+                self.gen[p] += 1;
+                StepOutcome::Crashed(fault)
+            }
+        };
+        // Kernel panics stop every process on the node.
+        for node in 0..self.kernels.len() {
+            if self.kernels[node].panicked() && !self.nodes_killed[node] {
+                self.nodes_killed[node] = true;
+                for q in 0..self.cfg.n_procs {
+                    if self.cfg.node_of[q] == node {
+                        self.push(end, QEv::Kill { pid: q as u32 });
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Brings a crashed (or killed) process back after recovery, runnable
+    /// `delay` from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is not crashed.
+    pub fn respawn(&mut self, pid: ProcessId, delay: SimTime) {
+        let p = pid.index();
+        assert_eq!(
+            self.status[p],
+            Status::Crashed,
+            "respawn requires a crashed process"
+        );
+        self.status[p] = Status::Runnable;
+        self.gen[p] += 1;
+        let gen = self.gen[p];
+        let t = self.now + delay;
+        self.push(t, QEv::Ready { pid: pid.0, gen });
+    }
+
+    /// Reactivates a process whose state was rolled back as a cascade
+    /// victim of another process's failure: blocked processes are woken
+    /// (their wait condition may no longer reflect the rolled-back state)
+    /// and finished processes are resumed. Crashed processes must use
+    /// [`Simulator::respawn`] instead. Runnable processes are untouched.
+    pub fn reactivate(&mut self, pid: ProcessId) {
+        let p = pid.index();
+        if matches!(self.status[p], Status::Blocked(_) | Status::Done) {
+            self.status[p] = Status::Runnable;
+            self.gen[p] += 1;
+            let gen = self.gen[p];
+            let t = self.now;
+            self.push(t, QEv::Ready { pid: pid.0, gen });
+        }
+    }
+
+    /// Is the process finished?
+    pub fn is_done(&self, pid: ProcessId) -> bool {
+        self.status[pid.index()] == Status::Done
+    }
+
+    /// Is the process crashed (and not yet respawned)?
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.status[pid.index()] == Status::Crashed
+    }
+
+    /// The network fabric (recovery managers rewind cursors through this).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Read access to the network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The kernel hosting `pid` (fault injection targets this).
+    pub fn kernel_of_mut(&mut self, pid: ProcessId) -> &mut Kernel {
+        &mut self.kernels[self.cfg.node_of[pid.index()]]
+    }
+
+    /// Read access to `pid`'s kernel.
+    pub fn kernel_of(&self, pid: ProcessId) -> &Kernel {
+        &self.kernels[self.cfg.node_of[pid.index()]]
+    }
+
+    /// Input-script cursor (checkpointed by the recovery runtime).
+    pub fn input_cursor(&self, pid: ProcessId) -> usize {
+        self.scripts[pid.index()].cursor()
+    }
+
+    /// Rolls the input-script cursor back (the user retypes).
+    pub fn set_input_cursor(&mut self, pid: ProcessId, cursor: usize) {
+        self.scripts[pid.index()].set_cursor(cursor);
+    }
+
+    /// Signal-schedule cursor (checkpointed by the recovery runtime).
+    pub fn signal_cursor(&self, pid: ProcessId) -> usize {
+        self.signals[pid.index()].cursor()
+    }
+
+    /// Rolls the signal-schedule cursor back.
+    pub fn set_signal_cursor(&mut self, pid: ProcessId, cursor: usize) {
+        self.signals[pid.index()].set_cursor(cursor);
+    }
+
+    /// Replaces `pid`'s node kernel with a snapshot (recovery reconstructs
+    /// kernel state, §3) and marks the node rebooted so its processes can
+    /// run again. Only meaningful when the node hosts a single process.
+    pub fn restore_kernel(&mut self, pid: ProcessId, kernel: Kernel) {
+        let node = self.cfg.node_of[pid.index()];
+        self.kernels[node] = kernel;
+        // A reboot clears in-memory kernel bugs: a snapshot taken while a
+        // fault was armed must not resurrect the fault.
+        self.kernels[node].reboot();
+        self.nodes_killed[node] = false;
+    }
+
+    /// Per-channel send counters (checkpointed by the recovery runtime).
+    pub fn send_seqs(&self, pid: ProcessId) -> HashMap<u32, u64> {
+        self.send_seqs[pid.index()].clone()
+    }
+
+    /// Restores per-channel send counters after rollback.
+    pub fn set_send_seqs(&mut self, pid: ProcessId, seqs: HashMap<u32, u64>) {
+        self.send_seqs[pid.index()] = seqs;
+    }
+
+    /// Adds a one-off scheduling delay to another process (used to charge
+    /// remote participants their coordinated-commit time).
+    pub fn delay_process(&mut self, pid: ProcessId, ns: SimTime) {
+        self.pending_delay[pid.index()] += ns;
+    }
+
+    /// Direct access to the trace recorder (the recovery runtime records
+    /// commit events and control edges through this).
+    pub fn tracer_mut(&mut self) -> &mut TraceBuilder {
+        &mut self.tracer
+    }
+
+    /// Number of trace events recorded so far for `pid`.
+    pub fn trace_position(&self, pid: ProcessId) -> u64 {
+        self.tracer.position(pid)
+    }
+
+    /// Notes a commit for stats purposes.
+    pub fn count_commit(&mut self, pid: ProcessId) {
+        self.stats[pid.index()].commits += 1;
+    }
+
+    /// The visible output log in real-time order: (time, process, token).
+    pub fn visible_log(&self) -> &[(SimTime, ProcessId, u64)] {
+        &self.visible_log
+    }
+
+    /// Per-process stats.
+    pub fn proc_stats(&self, pid: ProcessId) -> ProcStats {
+        self.stats[pid.index()]
+    }
+
+    /// Finishes the run, yielding the trace, the visible log, and final
+    /// time.
+    pub fn finish(self) -> (Trace, Vec<(SimTime, ProcessId, u64)>, SimTime) {
+        (self.tracer.finish(), self.visible_log, self.now)
+    }
+}
+
+/// The syscall context for one step of one process. Implements
+/// [`Syscalls`]; the recovery runtime wraps it to interpose.
+pub struct SysCtx<'a> {
+    sim: &'a mut Simulator,
+    pid: ProcessId,
+    elapsed: SimTime,
+    log_next: bool,
+    send_meta: Option<(BTreeSet<u32>, bool)>,
+}
+
+impl<'a> SysCtx<'a> {
+    /// Time charged so far in this step.
+    pub fn elapsed(&self) -> SimTime {
+        self.elapsed
+    }
+
+    /// Marks the next recorded non-deterministic event as logged (rendered
+    /// deterministic by the recovery runtime).
+    pub fn set_log_next(&mut self, log: bool) {
+        self.log_next = log;
+    }
+
+    /// Attaches recovery metadata (dependency snapshot, taint) to the next
+    /// send.
+    pub fn set_send_meta(&mut self, deps: BTreeSet<u32>, tainted: bool) {
+        self.send_meta = Some((deps, tainted));
+    }
+
+    /// Records a local commit event (recovery runtime only) and charges its
+    /// cost.
+    pub fn record_commit(&mut self, cost_ns: SimTime) {
+        self.sim.tracer.commit(self.pid);
+        self.sim.count_commit(self.pid);
+        self.elapsed += cost_ns;
+    }
+
+    /// Records a coordinated commit round across `participants` (which must
+    /// include this process if it commits), charging this process
+    /// `local_cost_ns` and each remote participant its own cost via
+    /// scheduling delays. Control-message edges (prepare/ack) are recorded
+    /// for the happens-before order, and the coordinator is charged two
+    /// network round trips.
+    pub fn record_coordinated_commit(&mut self, participants: &[ProcessId], costs_ns: &[SimTime]) {
+        assert_eq!(participants.len(), costs_ns.len());
+        let me = self.pid;
+        let remote: Vec<ProcessId> = participants.iter().copied().filter(|&q| q != me).collect();
+        // Prepare edges.
+        for &q in &remote {
+            let (_, m) = self.sim.tracer.send_control(me, q);
+            self.sim.tracer.recv_control(q, me, m);
+        }
+        self.sim.tracer.coordinated_commit(participants);
+        for (&q, &c) in participants.iter().zip(costs_ns) {
+            self.sim.count_commit(q);
+            if q == me {
+                self.elapsed += c;
+            } else {
+                self.sim.delay_process(q, c);
+            }
+        }
+        // Ack edges.
+        for &q in &remote {
+            let (_, m) = self.sim.tracer.send_control(q, me);
+            self.sim.tracer.recv_control(me, q, m);
+        }
+        if !remote.is_empty() {
+            // Two network round trips (prepare+ack), paid by the
+            // coordinator, overlapped across participants; plus the slowest
+            // remote commit is on the critical path.
+            let rtt = 2 * self.sim.cfg.cost.net_latency_ns;
+            let slowest_remote = participants
+                .iter()
+                .zip(costs_ns)
+                .filter(|(q, _)| **q != me)
+                .map(|(_, &c)| c)
+                .max()
+                .unwrap_or(0);
+            self.elapsed += 2 * rtt + slowest_remote;
+        }
+    }
+
+    /// Records a fault-activation journal marker (fault injector only).
+    pub fn record_fault_activation(&mut self, fault: u32) {
+        self.sim.tracer.fault_activation(self.pid, fault);
+    }
+
+    /// Charges extra time (recovery-runtime overheads: COW traps, log
+    /// writes).
+    pub fn charge(&mut self, ns: SimTime) {
+        self.elapsed += ns;
+    }
+
+    /// Read-only reach into the simulator (recovery runtime).
+    pub fn sim(&self) -> &Simulator {
+        self.sim
+    }
+
+    /// Mutable reach into the simulator (recovery runtime).
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        self.sim
+    }
+
+    fn node_kernel(&mut self) -> &mut Kernel {
+        self.sim.kernel_of_mut(self.pid)
+    }
+
+    fn count_syscall(&mut self) {
+        self.sim.stats[self.pid.index()].syscalls += 1;
+        self.elapsed += self.sim.cfg.cost.syscall_ns;
+    }
+
+    fn count_nd(&mut self) {
+        self.sim.stats[self.pid.index()].nd_events += 1;
+    }
+}
+
+impl<'a> Syscalls for SysCtx<'a> {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn now(&self) -> SimTime {
+        self.sim.now + self.elapsed
+    }
+
+    fn compute(&mut self, ns: SimTime) {
+        self.elapsed += ns;
+    }
+
+    fn gettimeofday(&mut self) -> SimTime {
+        self.count_syscall();
+        self.elapsed += self.sim.cfg.cost.gettimeofday_ns;
+        let mut v = self.sim.now + self.elapsed;
+        let poll = self.now();
+        if self.node_kernel().tick_corruption(poll) {
+            v = self.node_kernel().corrupt_u64(v);
+        }
+        let logged = std::mem::take(&mut self.log_next);
+        if logged {
+            self.sim.tracer.nd_logged(self.pid, NdSource::TimeOfDay);
+        } else {
+            self.sim.tracer.nd(self.pid, NdSource::TimeOfDay);
+        }
+        self.count_nd();
+        v
+    }
+
+    fn random(&mut self) -> u64 {
+        self.count_syscall();
+        let mut v: u64 = self.sim.rng.next_u64();
+        let poll = self.now();
+        if self.node_kernel().tick_corruption(poll) {
+            v = self.node_kernel().corrupt_u64(v);
+        }
+        let logged = std::mem::take(&mut self.log_next);
+        if logged {
+            self.sim.tracer.nd_logged(self.pid, NdSource::Random);
+        } else {
+            self.sim.tracer.nd(self.pid, NdSource::Random);
+        }
+        self.count_nd();
+        v
+    }
+
+    fn read_input(&mut self) -> Option<Vec<u8>> {
+        let now = self.now();
+        let p = self.pid.index();
+        let mut bytes = self.sim.scripts[p].take_due(now)?;
+        self.count_syscall();
+        self.elapsed += self.sim.cfg.cost.read_input_ns;
+        let poll = self.now();
+        if self.node_kernel().tick_corruption(poll) {
+            self.node_kernel().corrupt_bytes(&mut bytes);
+        }
+        let logged = std::mem::take(&mut self.log_next);
+        if logged {
+            self.sim.tracer.nd_logged(self.pid, NdSource::UserInput);
+        } else {
+            self.sim.tracer.nd(self.pid, NdSource::UserInput);
+        }
+        self.count_nd();
+        Some(bytes)
+    }
+
+    fn input_exhausted(&self) -> bool {
+        self.sim.scripts[self.pid.index()].exhausted()
+    }
+
+    fn send(&mut self, to: ProcessId, payload: Vec<u8>) -> SysResult<()> {
+        if to.index() >= self.sim.cfg.n_procs {
+            return Err(SysError::BadFd);
+        }
+        self.count_syscall();
+        self.elapsed += self.sim.cfg.cost.send_ns;
+        let seq_entry = self.sim.send_seqs[self.pid.index()]
+            .entry(to.0)
+            .or_insert(0);
+        let seq = *seq_entry;
+        *seq_entry += 1;
+        let (deps, tainted) = self.send_meta.take().unwrap_or_default();
+        let deliver_at = self.now() + self.sim.cfg.cost.net_delivery_ns(payload.len());
+        let (_, trace_msg) = self.sim.tracer.send(self.pid, to);
+        self.sim.net.send(
+            self.pid, to, seq, payload, deps, tainted, deliver_at, trace_msg,
+        );
+        self.sim.stats[self.pid.index()].sends += 1;
+        let t = deliver_at;
+        self.sim.push(t, QEv::Deliver { pid: to.0 });
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Option<Message> {
+        let now = self.now();
+        let (mut msg, trace_msg) = self.sim.net.try_recv(self.pid, now)?;
+        self.count_syscall();
+        self.elapsed += self.sim.cfg.cost.recv_ns;
+        let poll = self.now();
+        if self.node_kernel().tick_corruption(poll) {
+            self.node_kernel().corrupt_bytes(&mut msg.payload);
+        }
+        let logged = std::mem::take(&mut self.log_next);
+        if logged {
+            self.sim.tracer.recv_logged(self.pid, msg.from, trace_msg);
+        } else {
+            self.sim.tracer.recv(self.pid, msg.from, trace_msg);
+        }
+        self.sim.stats[self.pid.index()].recvs += 1;
+        self.count_nd();
+        Some(msg)
+    }
+
+    fn visible(&mut self, token: u64) {
+        self.count_syscall();
+        self.elapsed += self.sim.cfg.cost.visible_ns;
+        let t = self.now();
+        self.sim.tracer.visible(self.pid, token);
+        self.sim.visible_log.push((t, self.pid, token));
+        self.sim.stats[self.pid.index()].visibles += 1;
+    }
+
+    fn take_signal(&mut self) -> Option<u32> {
+        let now = self.now();
+        let p = self.pid.index();
+        let signo = self.sim.signals[p].take_due(now)?;
+        let logged = std::mem::take(&mut self.log_next);
+        if logged {
+            self.sim.tracer.nd_logged(self.pid, NdSource::Signal);
+        } else {
+            self.sim.tracer.nd(self.pid, NdSource::Signal);
+        }
+        self.count_nd();
+        Some(signo)
+    }
+
+    fn open(&mut self, name: &str) -> SysResult<u32> {
+        self.count_syscall();
+        self.elapsed += self.sim.cfg.cost.open_ns;
+        let corrupted = {
+            let now = self.now();
+            self.node_kernel().tick_corruption(now)
+        };
+        let logged = std::mem::take(&mut self.log_next);
+        if logged {
+            self.sim.tracer.nd_logged(self.pid, NdSource::ResourceProbe);
+        } else {
+            self.sim.tracer.nd(self.pid, NdSource::ResourceProbe);
+        }
+        self.count_nd();
+        let fd = self.node_kernel().open(name)?;
+        // A corrupted open returns a garbage descriptor.
+        if corrupted {
+            return Ok(fd ^ 0x40);
+        }
+        Ok(fd)
+    }
+
+    fn write_file(&mut self, fd: u32, bytes: &[u8]) -> SysResult<()> {
+        self.count_syscall();
+        self.elapsed += self.sim.cfg.cost.file_ns_per_byte * bytes.len() as SimTime;
+        let _ = {
+            let now = self.now();
+            self.node_kernel().tick_corruption(now)
+        };
+        let logged = std::mem::take(&mut self.log_next);
+        if logged {
+            self.sim.tracer.nd_logged(self.pid, NdSource::ResourceProbe);
+        } else {
+            self.sim.tracer.nd(self.pid, NdSource::ResourceProbe);
+        }
+        self.count_nd();
+        self.node_kernel().write(fd, bytes)
+    }
+
+    fn read_file(&mut self, fd: u32, len: usize) -> SysResult<Vec<u8>> {
+        self.count_syscall();
+        self.elapsed += self.sim.cfg.cost.file_ns_per_byte * len as SimTime;
+        let corrupted = {
+            let now = self.now();
+            self.node_kernel().tick_corruption(now)
+        };
+        let mut data = self.node_kernel().read(fd, len)?;
+        if corrupted {
+            self.node_kernel().corrupt_bytes(&mut data);
+        }
+        self.sim.tracer.internal(self.pid);
+        Ok(data)
+    }
+
+    fn close(&mut self, fd: u32) -> SysResult<()> {
+        self.count_syscall();
+        let _ = {
+            let now = self.now();
+            self.node_kernel().tick_corruption(now)
+        };
+        self.sim.tracer.internal(self.pid);
+        self.node_kernel().close(fd)
+    }
+
+    fn note_fault_activation(&mut self, fault: u32) {
+        self.sim.tracer.fault_activation(self.pid, fault);
+    }
+}

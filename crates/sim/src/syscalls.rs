@@ -1,0 +1,268 @@
+//! The syscall surface simulated processes run against, and the `App`
+//! trait the workload applications implement.
+//!
+//! Every operation here corresponds to an interposition point of Discount
+//! Checking (§3): "Discount Checking intercepts a process's signals and
+//! non-deterministic system calls such as `gettimeofday`, `bind`, `select`,
+//! `read`, `recvmsg`, `recv`, and `recvfrom`. To learn of a process'
+//! visible and send events, Discount Checking intercepts calls to `write`,
+//! `send`, `sendto`, and `sendmsg`." The checkpointing runtime in `ft-dc`
+//! wraps a raw [`Syscalls`] with exactly those interpositions.
+
+use std::collections::BTreeSet;
+
+use ft_core::event::ProcessId;
+use ft_mem::arena::Layout;
+use ft_mem::error::MemResult;
+use ft_mem::mem::Mem;
+use serde::{Deserialize, Serialize};
+
+use crate::cost::SimTime;
+
+/// Errors returned by the simulated kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SysError {
+    /// Bad file descriptor.
+    BadFd,
+    /// No free slot in the open-file table (a *fixed* non-deterministic
+    /// outcome of `open` — §2.5).
+    TableFull,
+    /// The disk is full (a *fixed* non-deterministic outcome of `write`).
+    NoSpace,
+    /// No such file.
+    NoSuchFile,
+    /// The kernel has panicked beneath this process.
+    KernelPanic,
+}
+
+impl std::fmt::Display for SysError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SysError::BadFd => "bad file descriptor",
+            SysError::TableFull => "open file table full",
+            SysError::NoSpace => "no space left on device",
+            SysError::NoSuchFile => "no such file",
+            SysError::KernelPanic => "kernel panic",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SysError {}
+
+/// Result alias for syscalls.
+pub type SysResult<T> = Result<T, SysError>;
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Per-channel sequence number assigned by the sender.
+    pub seq: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Dependency snapshot piggybacked by the sender's recovery runtime
+    /// (empty when no runtime is interposed).
+    pub deps: BTreeSet<u32>,
+    /// True if the sender had uncommitted non-determinism at send time (the
+    /// message may not be regenerated after a sender failure).
+    pub tainted: bool,
+}
+
+/// What a blocked process is waiting for. Any satisfied condition wakes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WaitCond {
+    /// Wake when a message is deliverable.
+    pub message: bool,
+    /// Wake when the next scripted user input is due.
+    pub input: bool,
+    /// Wake at this absolute simulated time.
+    pub until: Option<SimTime>,
+}
+
+impl WaitCond {
+    /// Wait for a message.
+    pub fn message() -> Self {
+        WaitCond {
+            message: true,
+            ..Default::default()
+        }
+    }
+
+    /// Wait for user input.
+    pub fn input() -> Self {
+        WaitCond {
+            input: true,
+            ..Default::default()
+        }
+    }
+
+    /// Sleep until an absolute time.
+    pub fn until(t: SimTime) -> Self {
+        WaitCond {
+            until: Some(t),
+            ..Default::default()
+        }
+    }
+
+    /// Wait for a message or a timeout.
+    pub fn message_or_until(t: SimTime) -> Self {
+        WaitCond {
+            message: true,
+            until: Some(t),
+            ..Default::default()
+        }
+    }
+
+    /// Wait for input or a message.
+    pub fn input_or_message() -> Self {
+        WaitCond {
+            message: true,
+            input: true,
+            until: None,
+        }
+    }
+}
+
+/// The status an application step reports back to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppStatus {
+    /// Ready to run again immediately (after the charged time elapses).
+    Running,
+    /// Blocked until the condition is satisfied.
+    Blocked(WaitCond),
+    /// The computation is complete.
+    Done,
+}
+
+/// The system interface a process sees. Implemented by the raw simulator
+/// context and, with recovery interposition, by `ft-dc`'s wrapper.
+pub trait Syscalls {
+    /// This process's id.
+    fn pid(&self) -> ProcessId;
+
+    /// Current simulated time including time charged so far in this step.
+    /// (Scheduler-internal; reading it is free and records no event — use
+    /// [`Syscalls::gettimeofday`] for the observable clock.)
+    fn now(&self) -> SimTime;
+
+    /// Burns CPU time.
+    fn compute(&mut self, ns: SimTime);
+
+    /// Reads the time-of-day clock: a *transient* non-deterministic event.
+    fn gettimeofday(&mut self) -> SimTime;
+
+    /// Draws entropy: a *transient* non-deterministic event.
+    fn random(&mut self) -> u64;
+
+    /// Takes the next due scripted user input, if any: a *fixed*
+    /// non-deterministic event when it returns `Some`. Returns `None` when
+    /// no input is due yet (block with [`WaitCond::input`]) — no event is
+    /// recorded in that case.
+    fn read_input(&mut self) -> Option<Vec<u8>>;
+
+    /// True when the input script is exhausted (the session is over).
+    fn input_exhausted(&self) -> bool;
+
+    /// Sends a message: a send event.
+    fn send(&mut self, to: ProcessId, payload: Vec<u8>) -> SysResult<()>;
+
+    /// Receives the next deliverable message, if any: a *transient*
+    /// non-deterministic (receive) event when it returns `Some`.
+    fn try_recv(&mut self) -> Option<Message>;
+
+    /// Emits user-visible output: a visible event. `token` identifies the
+    /// content for output-equivalence checking.
+    fn visible(&mut self, token: u64);
+
+    /// Takes a pending signal, if one is due: a *transient*
+    /// non-deterministic event when it returns `Some`.
+    fn take_signal(&mut self) -> Option<u32>;
+
+    /// Opens (creating if absent) a file: a *fixed* non-deterministic event
+    /// (its outcome depends on open-file-table occupancy).
+    fn open(&mut self, name: &str) -> SysResult<u32>;
+
+    /// Appends to an open file: a *fixed* non-deterministic event (its
+    /// outcome depends on disk fullness).
+    fn write_file(&mut self, fd: u32, bytes: &[u8]) -> SysResult<()>;
+
+    /// Reads from an open file at the current position.
+    fn read_file(&mut self, fd: u32, len: usize) -> SysResult<Vec<u8>>;
+
+    /// Closes a descriptor.
+    fn close(&mut self, fd: u32) -> SysResult<()>;
+
+    /// Journals that an injected fault's buggy code executed (§4
+    /// instrumentation: "instrumenting Discount Checking to log each fault
+    /// activation and commit event"). A no-op event for the protocols.
+    fn note_fault_activation(&mut self, fault: u32);
+}
+
+/// System interface plus access to the process's recoverable memory.
+///
+/// Applications reach their [`Mem`] *through* the syscall layer so the
+/// checkpointing runtime can checkpoint and roll it back without aliasing
+/// the application's borrow. Hold the `&mut Mem` only between syscalls.
+pub trait SysMem: Syscalls {
+    /// The process's recoverable memory image.
+    fn mem(&mut self) -> &mut Mem;
+}
+
+/// A workload application: a state machine whose **entire recoverable
+/// state lives in its [`Mem`]** — the application struct itself holds only
+/// immutable configuration. That is the §2.2 process model made literal,
+/// and it is what makes commits at arbitrary interposition points sound.
+///
+/// # The one-event-per-step discipline
+///
+/// Each `step` must execute **at most one syscall that generates an event
+/// or mutates kernel state** (`read_input`, `try_recv`, `gettimeofday`,
+/// `random`, `take_signal`, `open`, `write_file`, `read_file` — which
+/// advances the file position — `close`, `send`, or `visible`). Pure
+/// operations (`compute`, `now`, memory access) are unrestricted. The
+/// recovery runtime commits *at* interposition points; with one event per
+/// step and the state-machine phase stored in the arena, re-executing the
+/// enclosing step after a rollback is equivalent to resuming the saved
+/// program counter: duplicated sends are deduplicated by the network,
+/// duplicated visibles are permitted by consistent recovery, and a
+/// commit-after-nd checkpoint carries the nd result as a pending value.
+pub trait App {
+    /// Executes one step. Memory faults are crash events.
+    fn step(&mut self, sys: &mut dyn SysMem) -> MemResult<AppStatus>;
+
+    /// The arena layout this application needs.
+    fn layout(&self) -> Layout {
+        Layout::small()
+    }
+
+    /// Called by the recovery harness after this process is rolled back.
+    /// Fault-study applications suppress further fault activations here —
+    /// "we suppress the fault activation during recovery" (§4.1).
+    fn on_recovered(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_cond_constructors() {
+        assert!(WaitCond::message().message);
+        assert!(!WaitCond::message().input);
+        assert!(WaitCond::input().input);
+        assert_eq!(WaitCond::until(5).until, Some(5));
+        let mu = WaitCond::message_or_until(9);
+        assert!(mu.message);
+        assert_eq!(mu.until, Some(9));
+        let im = WaitCond::input_or_message();
+        assert!(im.input && im.message);
+    }
+
+    #[test]
+    fn sys_error_display() {
+        assert_eq!(SysError::NoSpace.to_string(), "no space left on device");
+        assert_eq!(SysError::TableFull.to_string(), "open file table full");
+    }
+}

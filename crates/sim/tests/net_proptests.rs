@@ -1,0 +1,117 @@
+//! Property tests for the network fabric: the delivery cursor against a
+//! model queue, rewind semantics, dedup, and tainted withdrawal.
+
+use std::collections::BTreeSet;
+
+use ft_core::event::{MsgId, ProcessId};
+use ft_sim::net::Network;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum NetOp {
+    /// Send seq `s` from P0 with given taint.
+    Send(u8, bool),
+    /// Receive the next deliverable at P1.
+    Recv,
+    /// Snapshot the consumption counts.
+    Snapshot,
+    /// Rewind to the last snapshot.
+    Rewind,
+}
+
+fn op() -> impl Strategy<Value = NetOp> {
+    prop_oneof![
+        (0u8..40, proptest::bool::ANY).prop_map(|(s, t)| NetOp::Send(s, t)),
+        Just(NetOp::Recv),
+        Just(NetOp::Snapshot),
+        Just(NetOp::Rewind),
+    ]
+}
+
+proptest! {
+    /// The single-channel network agrees with a model: sends append unless
+    /// the sequence already exists; receives pop in order; rewind returns
+    /// the cursor to the snapshot.
+    #[test]
+    fn channel_matches_model(ops in proptest::collection::vec(op(), 0..120)) {
+        let from = ProcessId(0);
+        let to = ProcessId(1);
+        let mut net = Network::new();
+        let mut model: Vec<u8> = Vec::new(); // Sequence numbers in order.
+        let mut seen: BTreeSet<u8> = BTreeSet::new();
+        let mut cursor = 0usize;
+        let mut snap = net.consumed_counts(to);
+        let mut snap_cursor = 0usize;
+        let mut trace_msg = 0u64;
+        for o in ops {
+            match o {
+                NetOp::Send(s, tainted) => {
+                    trace_msg += 1;
+                    net.send(
+                        from,
+                        to,
+                        s as u64,
+                        vec![s],
+                        Default::default(),
+                        tainted,
+                        0,
+                        MsgId(trace_msg),
+                    );
+                    if seen.insert(s) {
+                        model.push(s);
+                    }
+                }
+                NetOp::Recv => {
+                    let got = net.try_recv(to, 10).map(|(m, _)| m.seq as u8);
+                    let want = model.get(cursor).copied();
+                    prop_assert_eq!(got, want);
+                    if want.is_some() {
+                        cursor += 1;
+                    }
+                }
+                NetOp::Snapshot => {
+                    snap = net.consumed_counts(to);
+                    snap_cursor = cursor;
+                }
+                NetOp::Rewind => {
+                    net.rewind_receiver(to, &snap);
+                    cursor = snap_cursor;
+                }
+            }
+        }
+    }
+
+    /// Withdrawing tainted messages beyond the committed floor removes
+    /// exactly the tainted-uncommitted suffix and cascades iff a removed
+    /// message had been consumed.
+    #[test]
+    fn withdrawal_matches_model(
+        msgs in proptest::collection::vec(proptest::bool::ANY, 1..30),
+        consumed in 0usize..30,
+        floor in 0u64..30,
+    ) {
+        let from = ProcessId(0);
+        let to = ProcessId(1);
+        let mut net = Network::new();
+        for (i, &tainted) in msgs.iter().enumerate() {
+            net.send(from, to, i as u64, vec![], Default::default(), tainted, 0, MsgId(i as u64));
+        }
+        let consumed = consumed.min(msgs.len());
+        for _ in 0..consumed {
+            net.try_recv(to, 10).unwrap();
+        }
+        let mut counts = std::collections::HashMap::new();
+        counts.insert(to.0, floor);
+        let cascade = net.withdraw_tainted(from, &counts);
+        // Model: which messages survive.
+        let kept: Vec<usize> = (0..msgs.len())
+            .filter(|&i| !(msgs[i] && i as u64 >= floor))
+            .collect();
+        let ch = net.channel(from, to).unwrap();
+        let got: Vec<usize> = ch.messages().iter().map(|m| m.seq as usize).collect();
+        prop_assert_eq!(&got, &kept);
+        // Cascade iff a consumed message was removed.
+        let removed_consumed = (0..consumed).any(|i| msgs[i] && i as u64 >= floor);
+        prop_assert_eq!(!cascade.is_empty(), removed_consumed);
+    }
+}

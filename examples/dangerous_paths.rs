@@ -1,0 +1,117 @@
+//! Dangerous paths and the Lose-work theorem, interactively.
+//!
+//! Walks through the paper's §2.5 examples: the three Figure 6 machines
+//! (when is it safe to commit?), the Figure 7 lattice with its coloring,
+//! the Figure 9 conflict timeline, and the multi-process reclassification
+//! of receive events.
+//!
+//! ```sh
+//! cargo run --example dangerous_paths
+//! ```
+
+use failure_transparency::core::graph::{
+    can_commit_now, check_lose_work, figure6, figure7, multi_process_dangerous, EdgeId, EdgeKind,
+    ProcessRun, RecvMeta, StateGraph,
+};
+use failure_transparency::core::losework::check_commit_after_activation;
+use failure_transparency::core::trace::TraceBuilder;
+use failure_transparency::prelude::*;
+
+fn main() {
+    println!("== Figure 6: when is a commit safe? ==\n");
+    for (case, story) in [
+        ('A', "a deterministic path straight into a crash"),
+        ('B', "a transient nd fork where one branch survives"),
+        ('C', "a fixed nd fork with a crashing branch"),
+    ] {
+        let (g, _, probe) = figure6(case);
+        let dp = g.dangerous_paths();
+        println!(
+            "case {case} ({story}): committing at the marked point is {}",
+            if dp.commit_safe(probe) {
+                "SAFE"
+            } else {
+                "DANGEROUS"
+            }
+        );
+    }
+
+    println!("\n== Figure 7: the coloring algorithm ==\n");
+    let (g, start) = figure7();
+    let dp = g.dangerous_paths();
+    print!("{}", g.render(&dp));
+    // Walk the doomed branch and show the Lose-work checker catching a
+    // commit on it.
+    let doomed = vec![EdgeId(1), EdgeId(6), EdgeId(7)]; // t2, d3, d4 → crash2.
+    let verdict = check_lose_work(&g, start, &doomed, &[1]);
+    println!(
+        "\ncommitting one step down the doomed branch: {:?}",
+        verdict.unwrap_err()
+    );
+
+    println!("\n== Figure 9: when Save-work and Lose-work conflict ==\n");
+    // transient nd → fault activation → (Save-work forces a commit) →
+    // visible → crash.
+    let p = ProcessId(0);
+    let mut b = TraceBuilder::new(1);
+    b.nd(p, NdSource::SchedDecision);
+    b.fault_activation(p, 1);
+    b.commit(p); // Save-work demanded this before the visible...
+    b.visible(p, 1);
+    b.crash(p);
+    let outcome = check_commit_after_activation(&b.finish());
+    println!("the commit Save-work required violates Lose-work: {outcome:?}");
+
+    println!("\n== Multi-process: reclassifying receives ==\n");
+    // A sender that committed after its nd makes the receive *fixed*; a
+    // sender with uncommitted transient nd makes it *transient*.
+    let mut sender_g = StateGraph::new();
+    let a0 = sender_g.add_state("a0");
+    let a1 = sender_g.add_state("a1");
+    let a2 = sender_g.add_state("a2");
+    sender_g.add_edge(a0, a1, EdgeKind::TransientNd, "nd");
+    sender_g.add_edge(a1, a2, EdgeKind::Det, "send");
+
+    let mut recv_g = StateGraph::new();
+    let b0 = recv_g.add_state("b0");
+    let b1 = recv_g.add_state("b1");
+    let done = recv_g.add_state("done");
+    recv_g.add_edge(b0, b1, EdgeKind::TransientNd, "recv");
+    recv_g.add_edge(b1, done, EdgeKind::Det, "finish");
+    let mut recv_meta = std::collections::HashMap::new();
+    recv_meta.insert(
+        0usize,
+        RecvMeta {
+            sender: 0,
+            send_step: 1,
+        },
+    );
+
+    for (commits_at, label) in [
+        (vec![1], "committed after its nd"),
+        (vec![], "did not commit"),
+    ] {
+        let runs = vec![
+            ProcessRun {
+                graph: sender_g.clone(),
+                start: a0,
+                path: vec![EdgeId(0), EdgeId(1)],
+                commits_at,
+                recv_meta: std::collections::HashMap::new(),
+            },
+            ProcessRun {
+                graph: recv_g.clone(),
+                start: b0,
+                path: vec![EdgeId(0)],
+                commits_at: vec![],
+                recv_meta: recv_meta.clone(),
+            },
+        ];
+        let (reclassified, _) = multi_process_dangerous(&runs, 1);
+        println!(
+            "sender {label}: the receive is {:?}; receiver may commit now: {}",
+            reclassified.edge(EdgeId(0)).kind,
+            can_commit_now(&runs, 1)
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! A single Table 1 trial, narrated: inject one fault, watch it activate,
+//! see whether the Save-work commits doom the recovery.
+//!
+//! Contrasts two §4.1 fault types on the editor: a heap bit flip (detected
+//! only at save time, long after many commits — a Lose-work violation,
+//! unrecoverable) and an uninitialized variable (crashes immediately,
+//! before the next commit — recoverable).
+//!
+//! ```sh
+//! cargo run --example fault_study
+//! ```
+
+use failure_transparency::core::event::EventKind;
+use failure_transparency::core::losework::{check_commit_after_activation, LoseWorkOutcome};
+use failure_transparency::faults::{FaultPlan, FaultType};
+use failure_transparency::prelude::*;
+
+fn run_one(fault: FaultType, trigger_visit: u32, recover: bool) -> DcReport {
+    let plan = FaultPlan {
+        fault,
+        site: failure_transparency::apps::editor::fault_site(fault),
+        trigger_visit,
+        id: 1,
+        sticky: false,
+    };
+    let mut sim = Simulator::new(SimConfig::single_node(1, 2077));
+    let keys = failure_transparency::apps::workload::editor_script(300, 5);
+    sim.set_input_script(
+        ProcessId(0),
+        InputScript::evenly_spaced(0, MS, keys.into_iter().map(|k| vec![k]).collect()),
+    );
+    let mut app = Editor::new();
+    app.faults = failure_transparency::faults::FaultInjector::armed(plan, 9 + trigger_visit as u64);
+    let mut cfg = DcConfig::discount_checking(Protocol::Cpvs);
+    if !recover {
+        cfg.max_recoveries = 0;
+    }
+    DcHarness::new(sim, cfg, vec![Box::new(app)]).run()
+}
+
+/// Finds a trigger visit whose activation actually crashes the run — a
+/// random heap flip often lands in dead bytes, and Table 1 only considers
+/// crashing runs.
+fn crashing_trigger(fault: FaultType) -> (u32, DcReport) {
+    for t in 0..300u32 {
+        let trigger = 3 + t * 7;
+        let report = run_one(fault, trigger, false);
+        if report.trace.iter().any(|e| e.kind.is_crash()) {
+            return (trigger, report);
+        }
+    }
+    panic!("no crashing trigger found for {fault}");
+}
+
+fn narrate(fault: FaultType) {
+    let (trigger_visit, report) = crashing_trigger(fault);
+    println!(
+        "--- {} (activated at visit {trigger_visit}, run crashed) ---",
+        fault.name()
+    );
+    let violated = match check_commit_after_activation(&report.trace) {
+        LoseWorkOutcome::Violated { activation, commit } => {
+            println!(
+                "fault activated at {activation}; commit {commit} followed it — Lose-work violated"
+            );
+            true
+        }
+        LoseWorkOutcome::Upheld => {
+            println!("the process crashed before any commit could capture the damage");
+            false
+        }
+    };
+    let commits = report
+        .trace
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Commit { .. }))
+        .count();
+    println!("commits in the run: {commits}");
+
+    // The end-to-end check: recover; the one-shot fault does not re-fire
+    // during the replay ("we suppress the fault activation during
+    // recovery").
+    let recovered = run_one(fault, trigger_visit, true);
+    println!(
+        "recovery with the fault suppressed: {}",
+        if recovered.all_done {
+            "the run COMPLETED"
+        } else {
+            "the run kept re-crashing (abandoned)"
+        }
+    );
+    assert_eq!(
+        recovered.all_done, !violated,
+        "the Lose-work criterion must agree with the end-to-end outcome"
+    );
+    println!("=> the commit-after-activation criterion predicted this exactly (§4.1)\n");
+}
+
+fn main() {
+    println!("Table 1, one trial at a time: does upholding Save-work doom recovery?\n");
+    // Heap corruption lies dormant until the save-time integrity walk: by
+    // then CPVS has committed at every echo — recovery is doomed.
+    narrate(FaultType::HeapBitFlip);
+    // An uninitialized staging variable trips the dispatcher immediately,
+    // before the echo's commit: rollback escapes the dangerous path.
+    narrate(FaultType::Initialization);
+}

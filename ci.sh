@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, tests, lints, formatting. Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
+
+echo "ci: all green"

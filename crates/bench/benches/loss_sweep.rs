@@ -1,0 +1,53 @@
+//! The unreliable-network degradation sweep: failure-free overhead of the
+//! recovery runtime as attempt loss climbs from 0% to 10%, for the game,
+//! the DSM Barnes-Hut run, and the lock-based task farm.
+//!
+//! Expected shape — overhead grows gently with loss: the transport masks
+//! every drop with a retransmission, so lost attempts cost retransmission
+//! delay (bounded by the backoff ladder), never correctness. The counter
+//! columns show the mechanism: drops ≈ loss × attempts, every timeout
+//! produces exactly one retransmission, and dup-drops track the fabric's
+//! duplication plus retransmissions whose ack was lost.
+
+use ft_bench::loss::{loss_sweep, rows_for_table, TABLE_HEADER};
+use ft_bench::report::render_table;
+use ft_bench::scenarios;
+use ft_core::protocol::Protocol;
+
+const RATES: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.10];
+
+fn main() {
+    println!("Degradation vs. loss rate (failure-free, Discount Checking medium)");
+    let mut table: Vec<Vec<String>> = Vec::new();
+
+    // The real-time game: latency-sensitive, CPVS (the paper's pick for
+    // interactive workloads).
+    let rows = loss_sweep(
+        &|| scenarios::xpilot(19, 40),
+        Protocol::Cpvs,
+        0xFAB1,
+        &RATES,
+    );
+    table.extend(rows_for_table("game (cpvs)", &rows));
+
+    // Barrier-based Barnes-Hut over DSM: message-dense, CBNDV-2PC (its
+    // protocol-space winner) — also exercises the 2PC timeout path.
+    let rows = loss_sweep(
+        &|| scenarios::treadmarks(19, 16),
+        Protocol::Cbndv2pc,
+        0xFAB2,
+        &RATES,
+    );
+    table.extend(rows_for_table("barnes_hut (cbndv-2pc)", &rows));
+
+    // The lock-based task farm: grant-chain traffic, CBNDV-2PC.
+    let rows = loss_sweep(
+        &|| scenarios::taskfarm(19, 3),
+        Protocol::Cbndv2pc,
+        0xFAB3,
+        &RATES,
+    );
+    table.extend(rows_for_table("taskfarm (cbndv-2pc)", &rows));
+
+    println!("{}", render_table(&TABLE_HEADER, &table));
+}

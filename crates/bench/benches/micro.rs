@@ -1,10 +1,10 @@
-//! Micro-benchmarks for the substrate primitives (criterion): commit and
-//! rollback costs, copy-on-write trapping, vector-clock operations, the
-//! Save-work checker, dangerous-path coloring, B-tree inserts, and DSM
-//! diffing.
+//! Micro-benchmarks for the substrate primitives: commit and rollback
+//! costs, copy-on-write trapping, the Save-work checker, dangerous-path
+//! coloring, B-tree inserts, and DSM diffing. Plain wall-clock timing
+//! (median of batched runs) — no external harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use ft_core::event::{NdSource, ProcessId};
 use ft_core::graph::figure7;
@@ -13,40 +13,52 @@ use ft_core::trace::TraceBuilder;
 use ft_mem::arena::{Arena, Layout};
 use ft_mem::mem::Mem;
 
-fn bench_arena(c: &mut Criterion) {
+/// Times `f` over batched iterations and prints ns/iter (median of 5
+/// batches after a warmup batch).
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters.div_ceil(4) {
+        f();
+    }
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(start.elapsed().as_nanos() as u64 / iters as u64);
+    }
+    samples.sort_unstable();
+    println!("{name:<38} {:>10} ns/iter", samples[2]);
+}
+
+fn bench_arena() {
     let layout = Layout {
         globals_pages: 2,
         stack_pages: 2,
         heap_pages: 60,
     };
-    c.bench_function("arena_commit_16_dirty_pages", |b| {
-        let mut arena = Arena::new(layout);
-        b.iter(|| {
-            for p in 0..16 {
-                arena.write(p * ft_mem::PAGE_SIZE, &[1u8; 64]).unwrap();
-            }
-            black_box(arena.commit());
-        });
+    let mut arena = Arena::new(layout);
+    bench("arena_commit_16_dirty_pages", 2_000, || {
+        for p in 0..16 {
+            arena.write(p * ft_mem::PAGE_SIZE, &[1u8; 64]).unwrap();
+        }
+        black_box(arena.commit());
     });
-    c.bench_function("arena_rollback_16_dirty_pages", |b| {
-        let mut arena = Arena::new(layout);
-        b.iter(|| {
-            for p in 0..16 {
-                arena.write(p * ft_mem::PAGE_SIZE, &[1u8; 64]).unwrap();
-            }
-            black_box(arena.rollback());
-        });
+    let mut arena = Arena::new(layout);
+    bench("arena_rollback_16_dirty_pages", 2_000, || {
+        for p in 0..16 {
+            arena.write(p * ft_mem::PAGE_SIZE, &[1u8; 64]).unwrap();
+        }
+        black_box(arena.rollback());
     });
-    c.bench_function("arena_write_cow_trap", |b| {
-        let mut arena = Arena::new(layout);
-        b.iter(|| {
-            arena.write(100, black_box(&[7u8; 32])).unwrap();
-            arena.commit();
-        });
+    let mut arena = Arena::new(layout);
+    bench("arena_write_cow_trap", 20_000, || {
+        arena.write(100, black_box(&[7u8; 32])).unwrap();
+        arena.commit();
     });
 }
 
-fn bench_checker(c: &mut Criterion) {
+fn bench_checker() {
     // A CPVS-shaped trace: nd, commit, visible, repeated.
     let mut b = TraceBuilder::new(2);
     for i in 0..2_000u64 {
@@ -56,61 +68,55 @@ fn bench_checker(c: &mut Criterion) {
         b.visible(p, i);
     }
     let trace = b.finish();
-    c.bench_function("save_work_checker_6k_events", |bch| {
-        bch.iter(|| black_box(check_save_work(&trace)).is_ok());
+    bench("save_work_checker_6k_events", 20, || {
+        assert!(black_box(check_save_work(&trace)).is_ok());
     });
 }
 
-fn bench_graph(c: &mut Criterion) {
-    c.bench_function("dangerous_paths_figure7", |b| {
-        let (g, _) = figure7();
-        b.iter(|| black_box(g.dangerous_paths()));
+fn bench_graph() {
+    let (g, _) = figure7();
+    bench("dangerous_paths_figure7", 10_000, || {
+        black_box(g.dangerous_paths());
     });
 }
 
-fn bench_btree(c: &mut Criterion) {
+fn bench_btree() {
     use ft_apps::minidb::MiniDb;
     use ft_sim::harness::run_plain_on;
     use ft_sim::script::InputScript;
     use ft_sim::sim::{SimConfig, Simulator};
     use ft_sim::App;
 
-    c.bench_function("minidb_200_requests_end_to_end", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(SimConfig::single_node(1, 3));
-            sim.set_input_script(
-                ProcessId(0),
-                InputScript::evenly_spaced(0, 1000, ft_apps::workload::minidb_script(200, 3)),
-            );
-            let mut apps: Vec<Box<dyn App>> = vec![Box::new(MiniDb::new())];
-            black_box(run_plain_on(sim, &mut apps).all_done)
-        });
+    bench("minidb_200_requests_end_to_end", 10, || {
+        let mut sim = Simulator::new(SimConfig::single_node(1, 3));
+        sim.set_input_script(
+            ProcessId(0),
+            InputScript::evenly_spaced(0, 1000, ft_apps::workload::minidb_script(200, 3)),
+        );
+        let mut apps: Vec<Box<dyn App>> = vec![Box::new(MiniDb::new())];
+        assert!(black_box(run_plain_on(sim, &mut apps).all_done));
     });
 }
 
-fn bench_dsm(c: &mut Criterion) {
+fn bench_dsm() {
     use ft_dsm::Dsm;
-    c.bench_function("dsm_write_and_mark_dirty", |b| {
-        let mut mem = Mem::new(Layout {
-            globals_pages: 1,
-            stack_pages: 1,
-            heap_pages: 32,
-        });
-        let dsm = Dsm::init(&mut mem, 0, 2, 4).unwrap();
-        let mut x = 0u64;
-        b.iter(|| {
-            x = x.wrapping_add(1);
-            dsm.write_pod(&mut mem, (x as usize * 8) % 2048, x).unwrap();
-        });
+    let mut mem = Mem::new(Layout {
+        globals_pages: 1,
+        stack_pages: 1,
+        heap_pages: 32,
+    });
+    let dsm = Dsm::init(&mut mem, 0, 2, 4).unwrap();
+    let mut x = 0u64;
+    bench("dsm_write_and_mark_dirty", 50_000, || {
+        x = x.wrapping_add(1);
+        dsm.write_pod(&mut mem, (x as usize * 8) % 2048, x).unwrap();
     });
 }
 
-criterion_group!(
-    benches,
-    bench_arena,
-    bench_checker,
-    bench_graph,
-    bench_btree,
-    bench_dsm
-);
-criterion_main!(benches);
+fn main() {
+    bench_arena();
+    bench_checker();
+    bench_graph();
+    bench_btree();
+    bench_dsm();
+}

@@ -9,6 +9,7 @@
 //! * [`table1`] — application fault injection and the Lose-work violation
 //!   criterion (§4.1);
 //! * [`table2`] — operating-system fault injection (§4.2);
+//! * [`loss`] — loss-rate degradation sweeps over the unreliable fabric;
 //! * [`report`] — plain-text table rendering.
 //!
 //! Run `cargo bench` to regenerate everything; see `benches/` for the
@@ -18,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod fig8;
+pub mod loss;
 pub mod report;
 pub mod scenarios;
 pub mod table1;

@@ -1,0 +1,143 @@
+//! The loss-rate degradation sweep: failure-free runtime overhead of a
+//! recovery protocol as the network fabric gets lossier, with the
+//! transport-layer counters that explain the curve.
+//!
+//! For each loss rate the workload runs to completion under the recovery
+//! runtime over a fabric built by `NetFaultSpec::lossy` (the given drop
+//! rate plus light duplication and a reordering window); the 0% row is the
+//! baseline the overhead column is measured against. Every row also
+//! validates Save-work — the transport must be transparent to the
+//! protocol's guarantees, not just to completion.
+
+use ft_core::protocol::Protocol;
+use ft_core::savework::check_save_work;
+use ft_dc::harness::DcHarness;
+use ft_dc::state::DcConfig;
+use ft_faults::NetFaultSpec;
+use ft_sim::net::NetStats;
+use ft_sim::SimTime;
+
+use crate::fig8::overhead_pct;
+use crate::scenarios::Built;
+
+/// One point of the degradation curve.
+#[derive(Debug, Clone)]
+pub struct LossRow {
+    /// Attempt drop probability, in percent.
+    pub loss_pct: f64,
+    /// Wall time of the run.
+    pub runtime: SimTime,
+    /// Runtime overhead vs. this sweep's lossless (0%) row, in percent.
+    pub overhead_pct: f64,
+    /// Transport counters for the run.
+    pub net: NetStats,
+    /// Coordinated-commit timeouts reported by the recovery runtime.
+    pub twopc_timeouts: u64,
+}
+
+/// Sweeps `rates` (fractions, e.g. `0.05` for 5%) over one workload under
+/// one protocol. The first rate should be `0.0` so the overhead column has
+/// its baseline; if it is not, the first row still serves as the baseline.
+pub fn loss_sweep(
+    build: &dyn Fn() -> Built,
+    protocol: Protocol,
+    fabric_seed: u64,
+    rates: &[f64],
+) -> Vec<LossRow> {
+    let mut base_runtime = None;
+    rates
+        .iter()
+        .map(|&rate| {
+            let (mut sim, apps) = build();
+            NetFaultSpec::lossy(fabric_seed, rate).install(&mut sim);
+            let report = DcHarness::new(sim, DcConfig::discount_checking(protocol), apps).run();
+            assert!(
+                report.all_done,
+                "{protocol} at {:.0}% loss must complete",
+                rate * 100.0
+            );
+            assert!(
+                check_save_work(&report.trace).is_ok(),
+                "{protocol} at {:.0}% loss violated Save-work: {:?}",
+                rate * 100.0,
+                check_save_work(&report.trace)
+            );
+            let base = *base_runtime.get_or_insert(report.runtime);
+            LossRow {
+                loss_pct: rate * 100.0,
+                runtime: report.runtime,
+                overhead_pct: overhead_pct(base, report.runtime),
+                net: report.net,
+                twopc_timeouts: report.totals.twopc_timeouts,
+            }
+        })
+        .collect()
+}
+
+/// Renders a sweep as table rows for `report::render_table`.
+pub fn rows_for_table(workload: &str, rows: &[LossRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                workload.to_string(),
+                format!("{:.0}%", r.loss_pct),
+                format!("{:.2} s", r.runtime as f64 / 1e9),
+                format!("{:+.1}%", r.overhead_pct),
+                r.net.drops.to_string(),
+                r.net.retransmissions.to_string(),
+                r.net.dup_drops.to_string(),
+                r.net.timeouts.to_string(),
+                r.twopc_timeouts.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// The table header matching [`rows_for_table`].
+pub const TABLE_HEADER: [&str; 9] = [
+    "workload", "loss", "runtime", "overhead", "drops", "retrans", "dup-drop", "timeouts", "2pc-to",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    #[test]
+    fn lossy_taskfarm_degrades_but_completes() {
+        let build = || scenarios::taskfarm(11, 3);
+        let rows = loss_sweep(&build, Protocol::Cbndv2pc, 0xFAB, &[0.0, 0.05]);
+        assert_eq!(rows.len(), 2);
+        let clean = &rows[0];
+        let lossy = &rows[1];
+        assert_eq!(clean.overhead_pct, 0.0);
+        // 0% loss drops nothing (the lossy spec's light duplication and
+        // reorder window may still fire).
+        assert_eq!(clean.net.drops, 0);
+        assert_eq!(clean.net.retransmissions, 0);
+        assert!(lossy.net.drops > 0, "5% loss must drop something");
+        assert_eq!(
+            lossy.net.retransmissions, lossy.net.timeouts,
+            "every timeout retransmits, and nothing else does"
+        );
+        assert!(
+            lossy.runtime >= clean.runtime,
+            "retransmission delay cannot speed the run up"
+        );
+    }
+
+    #[test]
+    fn table_rows_match_header() {
+        let rows = rows_for_table(
+            "x",
+            &[LossRow {
+                loss_pct: 1.0,
+                runtime: 1_000_000_000,
+                overhead_pct: 2.5,
+                net: NetStats::default(),
+                twopc_timeouts: 0,
+            }],
+        );
+        assert_eq!(rows[0].len(), TABLE_HEADER.len());
+    }
+}

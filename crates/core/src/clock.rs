@@ -8,12 +8,10 @@
 //! discipline, event `a` happens-before event `b` if and only if
 //! `a.clock[a.pid] <= b.clock[a.pid]` (for distinct events).
 
-use serde::{Deserialize, Serialize};
-
 use crate::event::ProcessId;
 
 /// A vector clock over a fixed number of processes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VectorClock {
     components: Vec<u64>,
 }

@@ -14,10 +14,8 @@
 //! failure-free sequence) and the *no-orphan constraint* (the computation
 //! must run to completion).
 
-use serde::{Deserialize, Serialize};
-
 /// Why a recovered output sequence failed the consistency check.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConsistencyError {
     /// The recovered sequence emitted a token that is neither the next
     /// expected failure-free output nor a repeat of an already-delivered
@@ -123,7 +121,7 @@ pub fn check_prefix(recovered: &[u64], reference: &[u64]) -> Result<(), Consiste
 }
 
 /// Result of a full consistent-recovery check over a recovered run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryVerdict {
     /// Whether recovery was consistent.
     pub consistent: bool,

@@ -8,15 +8,13 @@
 //! and receives, user-visible outputs, commits, crashes, and the
 //! fault-activation markers used by the Table 1 methodology.
 
-use serde::{Deserialize, Serialize};
-
 use crate::clock::VectorClock;
 
 /// Identifier of a process within a computation.
 ///
 /// Process ids are small dense integers so they can index vector clocks and
 /// per-process trace vectors directly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(pub u32);
 
 impl ProcessId {
@@ -36,7 +34,7 @@ impl std::fmt::Display for ProcessId {
 /// Identifier of an event: the `seq`'th event executed by process `pid`.
 ///
 /// This mirrors the paper's notation `e_p^i`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId {
     /// The executing process.
     pub pid: ProcessId,
@@ -58,7 +56,7 @@ impl std::fmt::Display for EventId {
 }
 
 /// Identifier of a message, unique within a computation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MsgId(pub u64);
 
 /// The source of a non-deterministic event.
@@ -68,7 +66,7 @@ pub struct MsgId(pub u64);
 /// transient non-determinism may resolve differently after a failure and so
 /// bounds dangerous paths; fixed non-determinism cannot be relied upon to
 /// change and so extends them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NdSource {
     /// User input *values* — the user cannot be depended on to type
     /// something different after a failure, so values are fixed. (The
@@ -128,7 +126,7 @@ impl std::fmt::Display for NdSource {
 }
 
 /// Classification of a non-deterministic event (§2.5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NdClass {
     /// May have a different result when re-executed after a failure
     /// (scheduling, signals, message ordering, `gettimeofday`, …).
@@ -141,7 +139,7 @@ pub enum NdClass {
 }
 
 /// The kind of an event in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A deterministic internal state transition.
     Internal,
@@ -220,7 +218,7 @@ impl EventKind {
 }
 
 /// A single executed event, as recorded in a [`crate::trace::Trace`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// The event's identity (`e_p^i`).
     pub id: EventId,

@@ -23,19 +23,17 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a state in a [`StateGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StateId(pub usize);
 
 /// Index of an edge (event) in a [`StateGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeId(pub usize);
 
 /// Kind of an edge in a process state machine, as the dangerous-paths
 /// analysis needs it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeKind {
     /// Deterministic event.
     Det,
@@ -48,7 +46,7 @@ pub enum EdgeKind {
 }
 
 /// An edge (event) of the state machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Edge {
     /// Source state.
     pub from: StateId,
@@ -61,7 +59,7 @@ pub struct Edge {
 }
 
 /// A process state machine with crash states.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StateGraph {
     labels: Vec<String>,
     crash: Vec<bool>,
@@ -221,7 +219,7 @@ impl StateGraph {
 }
 
 /// The result of the dangerous-paths coloring.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DangerousPaths {
     /// `dangerous_state[s]` — committing *at* state `s` violates Lose-work.
     pub dangerous_state: Vec<bool>,
@@ -247,7 +245,7 @@ impl DangerousPaths {
 }
 
 /// A witness that Lose-work was violated along an executed path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoseWorkViolation {
     /// The commit's position along the path (number of edges executed
     /// before the commit).
@@ -306,7 +304,7 @@ pub fn check_lose_work(
 
 /// Metadata about an executed receive event, for the multi-process
 /// dangerous-paths algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvMeta {
     /// Index of the sending process in the run set.
     pub sender: usize,

@@ -11,13 +11,11 @@
 //! headline "transparent recovery impossible for >90% of application
 //! faults" figure.
 
-use serde::{Deserialize, Serialize};
-
 use crate::event::{EventId, EventKind, ProcessId};
 use crate::trace::Trace;
 
 /// The outcome of the Table 1 criterion on one crashed run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoseWorkOutcome {
     /// No commit executed causally after the fault activation: rollback
     /// escapes the dangerous-path suffix, so generic recovery is possible
@@ -84,7 +82,7 @@ pub fn check_commit_after_activation(trace: &Trace) -> LoseWorkOutcome {
 }
 
 /// Bohrbug/Heisenbug classification (§4.1, after Gray \[13\]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BugNature {
     /// Deterministic: the dangerous path extends back to the initial state
     /// of the program, which is always committed — Lose-work is inherently
@@ -128,7 +126,7 @@ pub fn conflict_composition(
 }
 
 /// Result of [`conflict_composition`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConflictEstimate {
     /// Fraction of application crashes for which Lose-work is upheld and
     /// generic recovery can succeed.

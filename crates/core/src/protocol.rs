@@ -17,12 +17,10 @@
 //! log the event, and whether to commit before (locally or coordinated)
 //! and/or after it.
 
-use serde::{Deserialize, Serialize};
-
 use crate::event::NdSource;
 
 /// A recovery protocol for upholding Save-work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// Commit every event — the origin of the protocol space. Trivially
     /// correct: needs no knowledge of event types.
@@ -113,7 +111,7 @@ impl std::fmt::Display for Protocol {
 
 /// Classification of an intercepted application event, from the
 /// checkpointing runtime's point of view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InterceptedEvent {
     /// A non-deterministic event from `source` (including receives, which
     /// carry [`NdSource::MessageRecv`]).
@@ -130,7 +128,7 @@ pub enum InterceptedEvent {
 }
 
 /// Scope of a commit decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommitScope {
     /// No commit.
     None,
@@ -143,7 +141,7 @@ pub enum CommitScope {
 }
 
 /// The planner's decision for one intercepted event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Decision {
     /// Commit (and with what scope) immediately *before* the event.
     pub before: CommitScope,
@@ -167,7 +165,7 @@ impl Decision {
 /// before executing each intercepted event, then apply the decision and call
 /// [`CommitPlanner::note_committed`] whenever a commit actually executes
 /// (including commits forced by a remote coordinator).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CommitPlanner {
     protocol: Protocol,
     nd_since_commit: bool,
@@ -294,7 +292,7 @@ impl CommitPlanner {
 /// message; receivers union it in. Whether the receive itself is logged is
 /// irrelevant — logging renders the *receive* deterministic but the message
 /// content still depends on the sender's non-determinism.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DepTracker {
     self_pid: u32,
     deps: std::collections::BTreeSet<u32>,

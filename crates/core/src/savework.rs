@@ -24,13 +24,11 @@
 //! candidate commit per (nd, target) pair needs testing. The whole check is
 //! `O(targets × processes × log commits)`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::event::{EventId, EventKind, ProcessId};
 use crate::trace::Trace;
 
 /// Which of the two Save-work sub-invariants a violation falls under.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SaveWorkRule {
     /// An uncommitted non-deterministic event causally precedes a visible
     /// event.
@@ -41,7 +39,7 @@ pub enum SaveWorkRule {
 }
 
 /// A witness that the Save-work invariant is violated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SaveWorkViolation {
     /// The uncommitted non-deterministic event.
     pub nd: EventId,
@@ -260,7 +258,7 @@ fn check_rules(
 /// A process rollback point after a failure: all events of `pid` with
 /// `seq >= first_lost` were lost (rolled back and possibly not re-executed
 /// with the same results).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rollback {
     /// The failed process.
     pub pid: ProcessId,
@@ -269,7 +267,7 @@ pub struct Rollback {
 }
 
 /// Report of an orphan process (§2.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OrphanReport {
     /// The orphan: it committed a dependence on a lost event.
     pub orphan: ProcessId,

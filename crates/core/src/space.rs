@@ -9,12 +9,10 @@
 //! and the literature protocols it unifies at their qualitative coordinates
 //! and exposes the Figure 4 design-variable trends.
 
-use serde::{Deserialize, Serialize};
-
 use crate::protocol::Protocol;
 
 /// A named point in the protocol space.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpacePoint {
     /// Display name.
     pub name: String,
@@ -88,7 +86,7 @@ pub fn figure3_points() -> Vec<SpacePoint> {
 ///
 /// All values are qualitative ranks in [0, 1]; only their ordering between
 /// points is meaningful.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesignTrends {
     /// Expected commit frequency: decreases with radial distance from the
     /// origin (1.0 at the origin).

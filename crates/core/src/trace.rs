@@ -10,13 +10,11 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::clock::{happens_before, VectorClock};
 use crate::event::{Event, EventId, EventKind, MsgId, NdClass, NdSource, ProcessId};
 
 /// A recorded execution of a computation.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// `events[p]` is the event sequence of process `p`, in program order.
     events: Vec<Vec<Event>>,

@@ -1,8 +1,7 @@
-//! Property-based tests for the theory crate: protocol executions uphold
+//! Randomized tests for the theory crate: protocol executions uphold
 //! Save-work, equivalence laws, vector-clock laws, and dangerous-path
-//! monotonicity.
-
-use proptest::prelude::*;
+//! monotonicity. Seeded and deterministic (ft-core sits below the
+//! simulator crate, so it carries its own tiny generator).
 
 use ft_core::clock::VectorClock;
 use ft_core::consistency::check_equivalence;
@@ -24,16 +23,41 @@ enum Op {
     Internal(u8),
 }
 
-fn op_strategy(n_procs: u8) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..n_procs, 0..6u8).prop_map(|(p, s)| Op::Nd(p, s)),
-        (0..n_procs, 0..n_procs)
-            .prop_filter("distinct", |(a, b)| a != b)
-            .prop_map(|(f, t)| Op::Send(f, t)),
-        (0..n_procs).prop_map(Op::Recv),
-        (0..n_procs).prop_map(Op::Visible),
-        (0..n_procs).prop_map(Op::Internal),
-    ]
+/// SplitMix64, the same generator the simulator uses.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+fn random_op(rng: &mut Rng, n_procs: u8) -> Op {
+    let p = rng.below(n_procs as u64) as u8;
+    match rng.below(5) {
+        0 => Op::Nd(p, rng.below(6) as u8),
+        1 => {
+            // Distinct sender/receiver.
+            let t = (p + 1 + rng.below(n_procs as u64 - 1) as u8) % n_procs;
+            Op::Send(p, t)
+        }
+        2 => Op::Recv(p),
+        3 => Op::Visible(p),
+        _ => Op::Internal(p),
+    }
+}
+
+fn random_ops(rng: &mut Rng, n_procs: u8, max: u64) -> Vec<Op> {
+    let n = rng.below(max) as usize;
+    (0..n).map(|_| random_op(rng, n_procs)).collect()
 }
 
 fn source_from(sel: u8) -> NdSource {
@@ -226,163 +250,178 @@ fn run_protocol(proto: Protocol, n_procs: usize, ops: &[Op]) -> ft_core::trace::
     b.finish()
 }
 
-proptest! {
-    /// The central soundness property: every protocol, driven over any
-    /// operation sequence, produces a trace satisfying the Save-work
-    /// theorem — and therefore guarantees consistent recovery from stop
-    /// failures.
-    #[test]
-    fn protocols_uphold_save_work(
-        ops in proptest::collection::vec(op_strategy(3), 0..120),
-        proto_idx in 0..8usize,
-    ) {
-        let protos = [
-            Protocol::CommitAll,
-            Protocol::Cand,
-            Protocol::CandLog,
-            Protocol::Cpvs,
-            Protocol::Cbndvs,
-            Protocol::CbndvsLog,
-            Protocol::Cpv2pc,
-            Protocol::Cbndv2pc,
-        ];
-        let proto = protos[proto_idx];
+/// The central soundness property: every protocol, driven over any
+/// operation sequence, produces a trace satisfying the Save-work
+/// theorem — and therefore guarantees consistent recovery from stop
+/// failures.
+#[test]
+fn protocols_uphold_save_work() {
+    let protos = [
+        Protocol::CommitAll,
+        Protocol::Cand,
+        Protocol::CandLog,
+        Protocol::Cpvs,
+        Protocol::Cbndvs,
+        Protocol::CbndvsLog,
+        Protocol::Cpv2pc,
+        Protocol::Cbndv2pc,
+    ];
+    let mut seeds = Rng(0x5AFE_3081);
+    for round in 0..256 {
+        let mut rng = Rng(seeds.next_u64());
+        let proto = protos[round % protos.len()];
+        let ops = random_ops(&mut rng, 3, 120);
         let trace = run_protocol(proto, 3, &ops);
-        prop_assert!(
+        assert!(
             check_save_work(&trace).is_ok(),
             "{} violated Save-work: {:?}",
             proto,
             check_save_work(&trace)
         );
     }
+}
 
-    /// Removing the commits from a CPVS run that had any nd-before-visible
-    /// pattern breaks Save-work — the checker is not vacuous.
-    #[test]
-    fn checker_rejects_commitless_nd_visible(
-        prefix in proptest::collection::vec(op_strategy(2), 0..30),
-    ) {
-        let mut b = TraceBuilder::new(1);
-        let p = ProcessId(0);
-        // Only single-process ops, no commits at all, forced nd → visible.
-        let _ = prefix; // Structure irrelevant; the tail forces a violation.
-        b.nd(p, NdSource::Random);
-        b.visible(p, 1);
-        prop_assert!(check_save_work(&b.finish()).is_err());
-    }
+/// A commitless nd-before-visible trace breaks Save-work — the checker is
+/// not vacuous.
+#[test]
+fn checker_rejects_commitless_nd_visible() {
+    let mut b = TraceBuilder::new(1);
+    let p = ProcessId(0);
+    b.nd(p, NdSource::Random);
+    b.visible(p, 1);
+    assert!(check_save_work(&b.finish()).is_err());
+}
 
-    /// Reference sequences are always equivalent to themselves.
-    #[test]
-    fn equivalence_reflexive(seq in proptest::collection::vec(0u64..50, 0..60)) {
-        prop_assert!(check_equivalence(&seq, &seq).is_ok());
-    }
+/// Reference sequences are always equivalent to themselves; duplicating
+/// any already-delivered element preserves equivalence; a novel suffix or
+/// a truncation does not.
+#[test]
+fn equivalence_laws() {
+    let mut seeds = Rng(0xE9_11);
+    for _ in 0..256 {
+        let mut rng = Rng(seeds.next_u64());
+        let n = 1 + rng.below(39) as usize;
+        let seq: Vec<u64> = (0..n).map(|_| rng.below(50)).collect();
 
-    /// Duplicating any already-delivered element preserves equivalence.
-    #[test]
-    fn equivalence_tolerates_duplicates(
-        seq in proptest::collection::vec(0u64..50, 1..40),
-        dup_of in 0usize..40,
-        insert_at_off in 0usize..40,
-    ) {
-        let dup_of = dup_of % seq.len();
-        // Insert a copy of seq[dup_of] at any position strictly after it.
+        // Reflexive.
+        assert!(check_equivalence(&seq, &seq).is_ok());
+
+        // Duplicates of an earlier element, inserted strictly after it,
+        // are tolerated.
+        let dup_of = rng.below(n as u64) as usize;
         let lo = dup_of + 1;
-        let insert_at = lo + insert_at_off % (seq.len() - dup_of);
+        let insert_at = lo + rng.below(40) as usize % (n - dup_of);
         let mut rec = seq.clone();
         rec.insert(insert_at.min(rec.len()), seq[dup_of]);
-        prop_assert!(check_equivalence(&rec, &seq).is_ok());
-    }
+        assert!(check_equivalence(&rec, &seq).is_ok());
 
-    /// Appending a token that never occurs in the reference breaks
-    /// equivalence.
-    #[test]
-    fn equivalence_rejects_novel_suffix(
-        seq in proptest::collection::vec(0u64..50, 0..40),
-    ) {
+        // A token outside the generated domain breaks equivalence.
         let mut rec = seq.clone();
-        rec.push(999); // Outside the generated domain.
-        prop_assert!(check_equivalence(&rec, &seq).is_err());
-    }
+        rec.push(999);
+        assert!(check_equivalence(&rec, &seq).is_err());
 
-    /// Truncating a non-empty reference yields Incomplete, not a visible
-    /// violation.
-    #[test]
-    fn equivalence_prefix_is_incomplete(
-        seq in proptest::collection::vec(0u64..50, 1..40),
-        cut in 0usize..40,
-    ) {
-        let cut = cut % seq.len();
-        let rec = &seq[..cut];
-        match check_equivalence(rec, &seq) {
+        // A strict prefix is Incomplete, not a visible violation.
+        let cut = rng.below(n as u64) as usize;
+        match check_equivalence(&seq[..cut], &seq) {
             Err(ft_core::consistency::ConsistencyError::Incomplete { .. }) => {}
-            other => prop_assert!(false, "expected Incomplete, got {other:?}"),
+            other => panic!("expected Incomplete, got {other:?}"),
         }
     }
+}
 
-    /// Vector clock join is commutative, idempotent, and monotone.
-    #[test]
-    fn vector_clock_join_laws(
-        a in proptest::collection::vec(0u64..1000, 4),
-        b in proptest::collection::vec(0u64..1000, 4),
-    ) {
-        let mk = |v: &[u64]| {
+/// Vector clock join is commutative, idempotent, and monotone.
+#[test]
+fn vector_clock_join_laws() {
+    let mut seeds = Rng(0x000C_10C4);
+    for _ in 0..256 {
+        let mut rng = Rng(seeds.next_u64());
+        let mk = |rng: &mut Rng| {
             let mut c = VectorClock::new(4);
-            for (i, &x) in v.iter().enumerate() {
-                for _ in 0..x.min(50) {
+            for i in 0..4 {
+                for _ in 0..rng.below(50) {
                     c.tick(ProcessId(i as u32));
                 }
             }
             c
         };
-        let ca = mk(&a);
-        let cb = mk(&b);
+        let ca = mk(&mut rng);
+        let cb = mk(&mut rng);
         let mut ab = ca.clone();
         ab.join(&cb);
         let mut ba = cb.clone();
         ba.join(&ca);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(&ab, &ba);
         // Idempotent.
         let mut aa = ca.clone();
         aa.join(&ca);
-        prop_assert_eq!(&aa, &ca);
+        assert_eq!(&aa, &ca);
         // Monotone: a <= a ⊔ b.
-        prop_assert!(ca.le(&ab));
-        prop_assert!(cb.le(&ab));
+        assert!(ca.le(&ab));
+        assert!(cb.le(&ab));
     }
+}
 
-    /// A graph without crash states has no dangerous paths, no matter its
-    /// shape.
-    #[test]
-    fn no_crash_no_danger(
-        edges in proptest::collection::vec((0usize..8, 0usize..8, 0u8..3), 0..24),
-    ) {
+fn random_edges(rng: &mut Rng, n_states: u64, max: u64) -> Vec<(usize, usize, u8)> {
+    let n = rng.below(max) as usize;
+    (0..n)
+        .map(|_| {
+            (
+                rng.below(n_states) as usize,
+                rng.below(n_states) as usize,
+                rng.below(3) as u8,
+            )
+        })
+        .collect()
+}
+
+fn kind_of(k: u8) -> EdgeKind {
+    match k {
+        0 => EdgeKind::Det,
+        1 => EdgeKind::TransientNd,
+        _ => EdgeKind::FixedNd,
+    }
+}
+
+/// A graph without crash states has no dangerous paths, no matter its
+/// shape.
+#[test]
+fn no_crash_no_danger() {
+    let mut seeds = Rng(0xDA46E2);
+    for _ in 0..256 {
+        let mut rng = Rng(seeds.next_u64());
+        let edges = random_edges(&mut rng, 8, 24);
         let mut g = StateGraph::new();
         for i in 0..8 {
             g.add_state(format!("s{i}"));
         }
         for (f, t, k) in edges {
-            let kind = match k {
-                0 => EdgeKind::Det,
-                1 => EdgeKind::TransientNd,
-                _ => EdgeKind::FixedNd,
-            };
-            g.add_edge(ft_core::graph::StateId(f), ft_core::graph::StateId(t), kind, "e");
+            g.add_edge(
+                ft_core::graph::StateId(f),
+                ft_core::graph::StateId(t),
+                kind_of(k),
+                "e",
+            );
         }
         let dp = g.dangerous_paths();
-        prop_assert_eq!(dp.dangerous_count(), 0);
-        prop_assert!(dp.colored_edge.iter().all(|&c| !c));
+        assert_eq!(dp.dangerous_count(), 0);
+        assert!(dp.colored_edge.iter().all(|&c| !c));
     }
+}
 
-    /// Differential check of the §2.5 coloring: the paper's literal
-    /// edge-coloring rules, iterated to fixpoint in a shuffled order, must
-    /// agree with the production state-based implementation on random
-    /// graphs.
-    #[test]
-    fn coloring_matches_literal_edge_rules(
-        edges in proptest::collection::vec((0usize..7, 0usize..7, 0u8..3), 0..20),
-        crash_targets in proptest::collection::vec(0usize..7, 0..3),
-        shuffle_seed in 0u64..1000,
-    ) {
+/// Differential check of the §2.5 coloring: the paper's literal
+/// edge-coloring rules, iterated to fixpoint in a shuffled order, must
+/// agree with the production state-based implementation on random
+/// graphs.
+#[test]
+fn coloring_matches_literal_edge_rules() {
+    let mut seeds = Rng(0xC0104);
+    for _ in 0..256 {
+        let mut rng = Rng(seeds.next_u64());
+        let edges = random_edges(&mut rng, 7, 20);
+        let n_crash = rng.below(3) as usize;
+        let crash_targets: Vec<usize> = (0..n_crash).map(|_| rng.below(7) as usize).collect();
+        let shuffle_seed = rng.below(1000);
+
         let mut g = StateGraph::new();
         for i in 0..7 {
             g.add_state(format!("s{i}"));
@@ -391,12 +430,13 @@ proptest! {
         let mut kinds = Vec::new();
         let mut ends = Vec::new();
         for &(f, t, k) in &edges {
-            let kind = match k {
-                0 => EdgeKind::Det,
-                1 => EdgeKind::TransientNd,
-                _ => EdgeKind::FixedNd,
-            };
-            g.add_edge(ft_core::graph::StateId(f), ft_core::graph::StateId(t), kind, "e");
+            let kind = kind_of(k);
+            g.add_edge(
+                ft_core::graph::StateId(f),
+                ft_core::graph::StateId(t),
+                kind,
+                "e",
+            );
             kinds.push(kind);
             ends.push(t);
         }
@@ -417,10 +457,10 @@ proptest! {
         // The paper's three rules, iterated in a seed-shuffled edge order.
         let mut colored = vec![false; n_edges];
         let mut order: Vec<usize> = (0..n_edges).collect();
-        let mut rng = shuffle_seed;
+        let mut mix = shuffle_seed;
         for i in (1..order.len()).rev() {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
-            order.swap(i, (rng >> 33) as usize % (i + 1));
+            mix = mix.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (mix >> 33) as usize % (i + 1));
         }
         loop {
             let mut changed = false;
@@ -448,48 +488,57 @@ proptest! {
             }
         }
         let dp = g.dangerous_paths();
-        prop_assert_eq!(&dp.colored_edge[..], &colored[..]);
+        assert_eq!(&dp.colored_edge[..], &colored[..]);
     }
+}
 
-    /// Dangerous-path coloring is monotone in the crash set: adding a crash
-    /// state (with an edge to it) can only add colored edges, never remove
-    /// them.
-    #[test]
-    fn dangerous_paths_monotone(
-        edges in proptest::collection::vec((0usize..6, 0usize..6, 0u8..3), 1..18),
-        crash_from in 0usize..6,
-    ) {
+/// Dangerous-path coloring is monotone in the crash set: adding a crash
+/// state (with an edge to it) can only add colored edges, never remove
+/// them.
+#[test]
+fn dangerous_paths_monotone() {
+    let mut seeds = Rng(0x30070);
+    for _ in 0..256 {
+        let mut rng = Rng(seeds.next_u64());
+        let edges = {
+            let mut e = random_edges(&mut rng, 6, 18);
+            if e.is_empty() {
+                e.push((0, 1, 0));
+            }
+            e
+        };
+        let crash_from = rng.below(6) as usize;
         let build = |with_crash: bool| {
             let mut g = StateGraph::new();
             for i in 0..6 {
                 g.add_state(format!("s{i}"));
             }
             for &(f, t, k) in &edges {
-                let kind = match k {
-                    0 => EdgeKind::Det,
-                    1 => EdgeKind::TransientNd,
-                    _ => EdgeKind::FixedNd,
-                };
                 g.add_edge(
                     ft_core::graph::StateId(f),
                     ft_core::graph::StateId(t),
-                    kind,
+                    kind_of(k),
                     "e",
                 );
             }
             if with_crash {
                 let c = g.add_crash_state("crash");
-                g.add_edge(ft_core::graph::StateId(crash_from), c, EdgeKind::Det, "boom");
+                g.add_edge(
+                    ft_core::graph::StateId(crash_from),
+                    c,
+                    EdgeKind::Det,
+                    "boom",
+                );
             }
             g
         };
         let base = build(false).dangerous_paths();
         let with = build(true).dangerous_paths();
         for (i, &c) in base.colored_edge.iter().enumerate() {
-            prop_assert!(!c || with.colored_edge[i]);
+            assert!(!c || with.colored_edge[i]);
         }
         for (i, &d) in base.dangerous_state.iter().enumerate() {
-            prop_assert!(!d || with.dangerous_state[i]);
+            assert!(!d || with.dangerous_state[i]);
         }
     }
 }

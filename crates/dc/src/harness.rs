@@ -7,6 +7,7 @@ use ft_core::trace::Trace;
 use ft_mem::cost::COW_TRAP_NS;
 use ft_mem::mem::Mem;
 use ft_sim::cost::SimTime;
+use ft_sim::net::NetStats;
 use ft_sim::sim::{Simulator, StepOutcome, Wake};
 use ft_sim::syscalls::App;
 
@@ -31,6 +32,9 @@ pub struct DcReport {
     pub commits_per_proc: Vec<u64>,
     /// Aggregate runtime statistics.
     pub totals: DcStats,
+    /// Transport-layer counters (all zero unless a network fault plan was
+    /// installed on the simulator).
+    pub net: NetStats,
     /// Number of failures that exhausted the recovery budget (the run
     /// could not be completed — a Lose-work casualty).
     pub abandoned: u32,
@@ -147,6 +151,7 @@ impl DcHarness {
             .map(|p| self.rt.state(ProcessId(p as u32)).stats.commits)
             .collect();
         let totals = self.rt.total_stats();
+        let net = self.sim.net_stats();
         let runtime = self.sim.now();
         let (trace, visibles, _) = self.sim.finish();
         DcReport {
@@ -156,6 +161,7 @@ impl DcHarness {
             all_done,
             commits_per_proc,
             totals,
+            net,
             abandoned: self.abandoned,
         }
     }

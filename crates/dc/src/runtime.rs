@@ -71,6 +71,8 @@ impl DcRuntime {
             t.recoveries += s.stats.recoveries;
             t.cascade_rollbacks += s.stats.cascade_rollbacks;
             t.commit_time_ns += s.stats.commit_time_ns;
+            t.twopc_timeouts += s.stats.twopc_timeouts;
+            t.twopc_aborts += s.stats.twopc_aborts;
         }
         t
     }
@@ -124,6 +126,13 @@ impl DcRuntime {
     /// process: selects participants (everyone under CPV-2PC, the
     /// dependency closure under CBNDV-2PC), commits each, and records the
     /// round with its control edges and time costs.
+    ///
+    /// The prepare/ack control traffic rides the same fabric as data: with
+    /// a network fault plan installed, a participant partitioned from the
+    /// coordinator times out the round. The coordinator retries with the
+    /// transport's backoff up to its retry cap, then aborts the round,
+    /// waits out the partition, and re-runs it — a degraded round with
+    /// bounded, counted retries, never a hang.
     pub fn coordinated_commit(&mut self, ctx: &mut SysCtx<'_>) {
         let me = ctx.pid();
         let participants: Vec<ProcessId> = if self.cfg.protocol == Protocol::Cpv2pc {
@@ -137,11 +146,55 @@ impl DcRuntime {
                 .map(ProcessId)
                 .collect()
         };
+        self.await_participants(ctx, me, &participants);
         let costs: Vec<SimTime> = participants
             .iter()
             .map(|&q| self.commit_arena(q, ctx.sim(), None))
             .collect();
         ctx.record_coordinated_commit(&participants, &costs);
+    }
+
+    /// Charges the coordinator's prepare timeouts until every remote
+    /// participant is reachable in both directions. The fault plan's
+    /// partitions are finite intervals, so this always terminates: each
+    /// backoff advances time, and each abort jumps past the healing of
+    /// every partition blocking the round at that instant.
+    fn await_participants(
+        &mut self,
+        ctx: &mut SysCtx<'_>,
+        me: ProcessId,
+        participants: &[ProcessId],
+    ) {
+        let Some(plan) = ctx.sim().network().fault_plan().cloned() else {
+            return;
+        };
+        let mut attempts: u32 = 0;
+        loop {
+            let now = ctx.now();
+            let heal = participants
+                .iter()
+                .filter(|&&q| q != me)
+                .filter_map(|&q| {
+                    plan.partitioned_until(me, q, now)
+                        .into_iter()
+                        .chain(plan.partitioned_until(q, me, now))
+                        .max()
+                })
+                .max();
+            let Some(heal) = heal else { break };
+            attempts += 1;
+            let st = &mut self.states[me.index()];
+            st.stats.twopc_timeouts += 1;
+            if attempts > plan.max_retries {
+                // Degraded round: abort, sleep until the blocking
+                // partitions heal, then start a fresh round of retries.
+                st.stats.twopc_aborts += 1;
+                ctx.charge(heal.saturating_sub(now).max(1));
+                attempts = 0;
+            } else {
+                ctx.charge(plan.backoff_ns(attempts).max(1));
+            }
+        }
     }
 
     /// A periodic coordinated checkpoint round: every live process commits

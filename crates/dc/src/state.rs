@@ -9,7 +9,6 @@ use ft_mem::mem::Mem;
 use ft_sim::cost::SimTime;
 use ft_sim::kernel::Kernel;
 use ft_sim::syscalls::{Message, SysResult};
-use serde::{Deserialize, Serialize};
 
 /// Discount Checking configuration.
 #[derive(Debug, Clone)]
@@ -57,7 +56,7 @@ impl DcConfig {
 /// after the event (CAND-family protocols): the analogue of the saved
 /// program counter sitting inside the interposed syscall. Consumed by the
 /// first matching syscall during post-recovery re-execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PendingNd {
     /// A user-input read.
     Input(Vec<u8>),
@@ -111,6 +110,13 @@ pub struct DcStats {
     pub cascade_rollbacks: u64,
     /// Total simulated time spent in commits.
     pub commit_time_ns: u64,
+    /// Coordinated-commit prepare/ack timeouts: rounds this process
+    /// coordinated that found a participant unreachable and retried after
+    /// a backoff.
+    pub twopc_timeouts: u64,
+    /// Coordinated rounds aborted after exhausting the retry cap; the
+    /// coordinator waits out the partition and re-runs the round.
+    pub twopc_aborts: u64,
 }
 
 /// One process's recovery-runtime state.
@@ -159,15 +165,12 @@ impl ProcState {
 
 /// Serializes the allocator for the committed register/control blob.
 pub fn encode_alloc(alloc: &ft_mem::alloc::Allocator) -> Vec<u8> {
-    bincode::serde::encode_to_vec(alloc, bincode::config::standard())
-        .expect("allocator serialization cannot fail")
+    alloc.to_bytes()
 }
 
 /// Deserializes a committed allocator blob.
 pub fn decode_alloc(blob: &[u8]) -> ft_mem::alloc::Allocator {
-    bincode::serde::decode_from_slice(blob, bincode::config::standard())
-        .expect("committed allocator blob is well-formed")
-        .0
+    ft_mem::alloc::Allocator::from_bytes(blob).expect("committed allocator blob is well-formed")
 }
 
 #[cfg(test)]

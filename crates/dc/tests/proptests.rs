@@ -1,8 +1,6 @@
-//! Property-based failure-transparency tests: for arbitrary kill
+//! Randomized failure-transparency tests: for seeded random kill
 //! schedules, protocols, and workloads, the recovered run's output is
 //! consistent with the failure-free run and Save-work holds throughout.
-
-use proptest::prelude::*;
 
 use ft_core::consistency::check_consistent_recovery;
 use ft_core::event::ProcessId;
@@ -114,54 +112,53 @@ fn build(seed: u64, n: usize) -> (Simulator, Vec<Box<dyn App>>) {
     (sim, vec![Box::new(Mixed)])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The central end-to-end property: any single stop failure, under any
-    /// protocol, recovers to consistent output with Save-work intact.
-    #[test]
-    fn single_failure_recovers_consistently(
-        kill_frac in 0.05f64..0.95,
-        proto_idx in 0..7usize,
-        seed in 1u64..500,
-    ) {
+/// The central end-to-end property: any single stop failure, under any
+/// protocol, recovers to consistent output with Save-work intact.
+#[test]
+fn single_failure_recovers_consistently() {
+    let mut rng = ft_sim::rng::SplitMix64::new(0x51F1);
+    for _ in 0..48 {
+        let kill_frac = 0.05 + rng.unit_f64() * 0.9;
+        let proto = Protocol::FIGURE8[rng.index(7)];
+        let seed = 1 + rng.below(499);
         let n = 40;
-        let proto = Protocol::FIGURE8[proto_idx];
         let (sim, mut apps) = build(seed, n);
         let reference = run_plain_on(sim, &mut apps);
-        prop_assert!(reference.all_done);
+        assert!(reference.all_done);
         let ref_tokens: Vec<u64> = reference.visibles.iter().map(|&(_, _, t)| t).collect();
 
         let (mut sim, apps) = build(seed, n);
         let kill_at = (reference.runtime as f64 * kill_frac) as u64;
         sim.kill_at(ProcessId(0), kill_at.max(1));
         let report = DcHarness::new(sim, DcConfig::discount_checking(proto), apps).run();
-        prop_assert!(report.all_done, "{proto} kill@{kill_at}");
-        prop_assert!(
+        assert!(report.all_done, "{proto} kill@{kill_at}");
+        assert!(
             check_save_work(&report.trace).is_ok(),
             "{proto}: {:?}",
             check_save_work(&report.trace)
         );
         let verdict = check_consistent_recovery(&report.visible_tokens(), &ref_tokens);
-        prop_assert!(
+        assert!(
             verdict.consistent,
             "{proto} kill@{kill_at}: {:?}",
             verdict.error
         );
     }
+}
 
-    /// Two failures, both media.
-    #[test]
-    fn double_failure_on_both_media(
-        f1 in 0.1f64..0.45,
-        f2 in 0.55f64..0.9,
-        disk in proptest::bool::ANY,
-        seed in 1u64..200,
-    ) {
+/// Two failures, both media.
+#[test]
+fn double_failure_on_both_media() {
+    let mut rng = ft_sim::rng::SplitMix64::new(0xD0B1);
+    for _ in 0..24 {
+        let f1 = 0.1 + rng.unit_f64() * 0.35;
+        let f2 = 0.55 + rng.unit_f64() * 0.35;
+        let disk = rng.chance(0.5);
+        let seed = 1 + rng.below(199);
         let n = 30;
         let (sim, mut apps) = build(seed, n);
         let reference = run_plain_on(sim, &mut apps);
-        prop_assert!(reference.all_done);
+        assert!(reference.all_done);
         let ref_tokens: Vec<u64> = reference.visibles.iter().map(|&(_, _, t)| t).collect();
 
         let (mut sim, apps) = build(seed, n);
@@ -173,8 +170,8 @@ proptest! {
             DcConfig::discount_checking(Protocol::Cpvs)
         };
         let report = DcHarness::new(sim, cfg, apps).run();
-        prop_assert!(report.all_done);
+        assert!(report.all_done);
         let verdict = check_consistent_recovery(&report.visible_tokens(), &ref_tokens);
-        prop_assert!(verdict.consistent, "{:?}", verdict.error);
+        assert!(verdict.consistent, "{:?}", verdict.error);
     }
 }

@@ -29,20 +29,20 @@
 #![warn(missing_docs)]
 
 pub mod lock;
+mod wire;
 
 use ft_mem::error::{MemFault, MemResult};
 use ft_mem::mem::{ArenaCell, Mem};
 use ft_mem::pod::Pod;
 use ft_sim::cost::US;
 use ft_sim::syscalls::SysMem;
-use serde::{Deserialize, Serialize};
 
 /// DSM page size in bytes (TreadMarks used the VM page; we use a finer
 /// granularity so diffs stay interesting at simulation scale).
 pub const DSM_PAGE: usize = 1024;
 
 /// A diff message: the sender's byte-level changes for one barrier round.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct DiffMsg {
     round: u64,
     from: u32,
@@ -50,7 +50,7 @@ struct DiffMsg {
 }
 
 /// Byte runs that changed within one page.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct PageDiff {
     page: u32,
     runs: Vec<(u32, Vec<u8>)>,
@@ -69,7 +69,7 @@ pub enum BarrierStatus {
 
 /// A DSM endpoint: immutable configuration plus arena offsets. All mutable
 /// state lives in the arena.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Dsm {
     my: u32,
     n_nodes: u32,
@@ -286,9 +286,7 @@ impl Dsm {
                 continue;
             }
             let payload = mem.arena.read(slot + 8, len as usize)?.to_vec();
-            let (diff, _): (DiffMsg, usize) =
-                bincode::serde::decode_from_slice(&payload, bincode::config::standard())
-                    .map_err(|_| MemFault::InvariantViolated { check: 0xD6 })?;
+            let diff = wire::decode_diff_msg(&payload)?;
             self.apply_diffs(mem, &diff.diffs)?;
             mem.arena.write_pod(slot, 0u64)?;
         }
@@ -326,10 +324,7 @@ impl Dsm {
     /// is exactly the critical-section writes.
     fn serialize_my_diffs(&self, mem: &Mem) -> MemResult<Vec<u8>> {
         let diffs = self.compute_diffs(mem)?;
-        Ok(
-            bincode::serde::encode_to_vec(&diffs, bincode::config::standard())
-                .expect("diff serialization cannot fail"),
-        )
+        Ok(wire::encode_diffs(&diffs))
     }
 
     /// Applies a serialized diff payload to the region *and* the twin —
@@ -337,9 +332,7 @@ impl Dsm {
     /// they must not be re-published at the next release or barrier.
     /// Returns the number of bytes applied.
     fn apply_serialized_diffs(&self, mem: &mut Mem, payload: &[u8]) -> MemResult<usize> {
-        let (diffs, _): (Vec<PageDiff>, usize) =
-            bincode::serde::decode_from_slice(payload, bincode::config::standard())
-                .map_err(|_| MemFault::InvariantViolated { check: 0xD6 })?;
+        let diffs = wire::decode_diffs(payload)?;
         self.apply_diffs(mem, &diffs)?;
         let mut applied = 0;
         for d in &diffs {
@@ -380,9 +373,7 @@ impl Dsm {
             if payload.is_empty() {
                 continue;
             }
-            let (diffs, _): (Vec<PageDiff>, usize) =
-                bincode::serde::decode_from_slice(payload, bincode::config::standard())
-                    .map_err(|_| MemFault::InvariantViolated { check: 0xD6 })?;
+            let diffs = wire::decode_diffs(payload)?;
             for d in &diffs {
                 for (off, run) in &d.runs {
                     for (i, &b) in run.iter().enumerate() {
@@ -413,10 +404,7 @@ impl Dsm {
                 });
             }
         }
-        Ok(
-            bincode::serde::encode_to_vec(&out, bincode::config::standard())
-                .expect("diff serialization cannot fail"),
-        )
+        Ok(wire::encode_diffs(&out))
     }
 
     /// Pumps the barrier/diff-exchange state machine. Performs at most one
@@ -454,8 +442,7 @@ impl Dsm {
                     from: self.my,
                     diffs,
                 };
-                let payload = bincode::serde::encode_to_vec(&msg, bincode::config::standard())
-                    .expect("diff serialization cannot fail");
+                let payload = wire::encode_diff_msg(&msg);
                 // Diff creation cost: ~1 µs per scanned page.
                 sys.compute(pages_scanned as u64 * US);
                 sys.send(ft_core::event::ProcessId(peer), payload)
@@ -508,9 +495,7 @@ impl Dsm {
         payload: &[u8],
     ) -> MemResult<()> {
         let round = self.ctrl(C_ROUND).get(&sys.mem().arena)?;
-        let (diff, _): (DiffMsg, usize) =
-            bincode::serde::decode_from_slice(payload, bincode::config::standard())
-                .map_err(|_| MemFault::InvariantViolated { check: 0xD6 })?;
+        let diff = wire::decode_diff_msg(payload)?;
         if diff.round == round {
             let applied: usize = diff
                 .diffs
@@ -617,14 +602,8 @@ mod tests {
 
     #[test]
     fn merge_diff_payloads_is_later_wins_and_compact() {
-        let enc = |d: Vec<PageDiff>| {
-            bincode::serde::encode_to_vec(&d, bincode::config::standard()).unwrap()
-        };
-        let dec = |p: &[u8]| -> Vec<PageDiff> {
-            bincode::serde::decode_from_slice(p, bincode::config::standard())
-                .unwrap()
-                .0
-        };
+        let enc = |d: Vec<PageDiff>| wire::encode_diffs(&d);
+        let dec = |p: &[u8]| -> Vec<PageDiff> { wire::decode_diffs(p).unwrap() };
         let older = enc(vec![PageDiff {
             page: 0,
             runs: vec![(0, vec![1, 1, 1]), (10, vec![5])],
@@ -641,9 +620,7 @@ mod tests {
 
     #[test]
     fn merge_with_empty_sides_preserves_the_other() {
-        let enc = |d: Vec<PageDiff>| {
-            bincode::serde::encode_to_vec(&d, bincode::config::standard()).unwrap()
-        };
+        let enc = |d: Vec<PageDiff>| wire::encode_diffs(&d);
         let one = enc(vec![PageDiff {
             page: 3,
             runs: vec![(100, vec![42])],
@@ -651,17 +628,14 @@ mod tests {
         let a = Dsm::merge_diff_payloads(&[], &one).unwrap();
         let b = Dsm::merge_diff_payloads(&one, &[]).unwrap();
         assert_eq!(a, b);
-        let (decoded, _): (Vec<PageDiff>, usize) =
-            bincode::serde::decode_from_slice(&a, bincode::config::standard()).unwrap();
+        let decoded = wire::decode_diffs(&a).unwrap();
         assert_eq!(decoded[0].page, 3);
         assert_eq!(decoded[0].runs, vec![(100, vec![42])]);
     }
 
     #[test]
     fn merge_spans_pages_without_bleeding_runs() {
-        let enc = |d: Vec<PageDiff>| {
-            bincode::serde::encode_to_vec(&d, bincode::config::standard()).unwrap()
-        };
+        let enc = |d: Vec<PageDiff>| wire::encode_diffs(&d);
         // Last byte of page 0, first byte of page 1: must stay two diffs.
         let older = enc(vec![PageDiff {
             page: 0,
@@ -672,8 +646,7 @@ mod tests {
             runs: vec![(0, vec![2])],
         }]);
         let merged = Dsm::merge_diff_payloads(&older, &newer).unwrap();
-        let (decoded, _): (Vec<PageDiff>, usize) =
-            bincode::serde::decode_from_slice(&merged, bincode::config::standard()).unwrap();
+        let decoded = wire::decode_diffs(&merged).unwrap();
         assert_eq!(decoded.len(), 2);
     }
 
@@ -681,13 +654,11 @@ mod tests {
     fn apply_serialized_diffs_updates_region_and_twin() {
         let mut mem = big_mem();
         let dsm = Dsm::init(&mut mem, 0, 2, 4).unwrap();
-        // NB: encode as a slice — a fixed-size array would encode without
-        // the length prefix `apply_serialized_diffs` expects.
         let diffs: &[PageDiff] = &[PageDiff {
             page: 1,
             runs: vec![(4, vec![7, 8, 9])],
         }];
-        let payload = bincode::serde::encode_to_vec(diffs, bincode::config::standard()).unwrap();
+        let payload = wire::encode_diffs(diffs);
         let n = dsm.apply_serialized_diffs(&mut mem, &payload).unwrap();
         assert_eq!(n, 3);
         assert_eq!(dsm.read(&mem, DSM_PAGE + 4, 3).unwrap(), vec![7, 8, 9]);
@@ -715,32 +686,28 @@ mod tests {
 #[cfg(test)]
 mod merge_proptests {
     use super::*;
-    use proptest::prelude::*;
+    use ft_sim::rng::SplitMix64;
     use std::collections::BTreeMap;
 
     /// A random diff list over 2 pages (offsets kept in-page).
-    fn diffs_strategy() -> impl Strategy<Value = Vec<PageDiff>> {
-        proptest::collection::vec(
-            (
-                0u32..2,
-                0u32..(DSM_PAGE as u32 - 8),
-                proptest::collection::vec(proptest::num::u8::ANY, 1..8),
-            ),
-            0..12,
-        )
-        .prop_map(|writes| {
-            writes
-                .into_iter()
-                .map(|(page, off, bytes)| PageDiff {
+    fn random_diffs(rng: &mut SplitMix64) -> Vec<PageDiff> {
+        let n = rng.below(12) as usize;
+        (0..n)
+            .map(|_| {
+                let page = rng.below(2) as u32;
+                let off = rng.below(DSM_PAGE as u64 - 8) as u32;
+                let len = 1 + rng.below(7) as usize;
+                let bytes = (0..len).map(|_| rng.next_u64() as u8).collect();
+                PageDiff {
                     page,
                     runs: vec![(off, bytes)],
-                })
-                .collect()
-        })
+                }
+            })
+            .collect()
     }
 
-    fn enc(d: &Vec<PageDiff>) -> Vec<u8> {
-        bincode::serde::encode_to_vec(d, bincode::config::standard()).unwrap()
+    fn enc(d: &[PageDiff]) -> Vec<u8> {
+        wire::encode_diffs(d)
     }
 
     fn model_apply(map: &mut BTreeMap<(u32, u32), u8>, diffs: &[PageDiff]) {
@@ -753,40 +720,44 @@ mod merge_proptests {
         }
     }
 
-    proptest! {
-        /// Merging payloads then applying equals applying them in order —
-        /// the write-notice accumulation is semantics-preserving.
-        #[test]
-        fn merge_equals_sequential_application(
-            older in diffs_strategy(),
-            newer in diffs_strategy(),
-        ) {
+    /// Merging payloads then applying equals applying them in order —
+    /// the write-notice accumulation is semantics-preserving.
+    #[test]
+    fn merge_equals_sequential_application() {
+        let mut rng = SplitMix64::new(0x5EED_D1FF);
+        for _ in 0..256 {
+            let older = random_diffs(&mut rng);
+            let newer = random_diffs(&mut rng);
             let merged = Dsm::merge_diff_payloads(&enc(&older), &enc(&newer)).unwrap();
-            let (decoded, _): (Vec<PageDiff>, usize) =
-                bincode::serde::decode_from_slice(&merged, bincode::config::standard()).unwrap();
+            let decoded = wire::decode_diffs(&merged).unwrap();
             let mut want = BTreeMap::new();
             model_apply(&mut want, &older);
             model_apply(&mut want, &newer);
             let mut got = BTreeMap::new();
             model_apply(&mut got, &decoded);
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
             // And the encoding is canonical: runs are disjoint, sorted,
             // and maximally coalesced within each page.
             for d in &decoded {
                 for w in d.runs.windows(2) {
                     let end = w[0].0 + w[0].1.len() as u32;
-                    prop_assert!(end < w[1].0, "adjacent runs must coalesce");
+                    assert!(end < w[1].0, "adjacent runs must coalesce");
                 }
             }
         }
+    }
 
-        /// Merge is idempotent on the right: folding the same newest
-        /// payload twice changes nothing.
-        #[test]
-        fn merge_right_idempotent(a in diffs_strategy(), b in diffs_strategy()) {
+    /// Merge is idempotent on the right: folding the same newest
+    /// payload twice changes nothing.
+    #[test]
+    fn merge_right_idempotent() {
+        let mut rng = SplitMix64::new(0x1DE0_7E47);
+        for _ in 0..256 {
+            let a = random_diffs(&mut rng);
+            let b = random_diffs(&mut rng);
             let once = Dsm::merge_diff_payloads(&enc(&a), &enc(&b)).unwrap();
             let twice = Dsm::merge_diff_payloads(&once, &enc(&b)).unwrap();
-            prop_assert_eq!(once, twice);
+            assert_eq!(once, twice);
         }
     }
 }

@@ -39,12 +39,11 @@ use ft_mem::mem::{ArenaCell, Mem};
 use ft_mem::vec::ArenaVec;
 use ft_sim::cost::US;
 use ft_sim::syscalls::SysMem;
-use serde::{Deserialize, Serialize};
 
 use crate::Dsm;
 
 /// A lock-protocol message.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum LockMsg {
     /// Acquire request.
     Req {
@@ -69,17 +68,49 @@ pub enum LockMsg {
 }
 
 impl LockMsg {
-    /// Serializes for the wire.
+    /// Serializes for the wire: a variant tag byte, the lock id, and (for
+    /// Grant/Rel) a length-prefixed diff payload.
     pub fn encode(&self) -> Vec<u8> {
-        bincode::serde::encode_to_vec(self, bincode::config::standard())
-            .expect("lock message serialization cannot fail")
+        let mut out = Vec::new();
+        match self {
+            LockMsg::Req { lock } => {
+                out.push(0);
+                out.extend_from_slice(&lock.to_le_bytes());
+            }
+            LockMsg::Grant { lock, diffs } => {
+                out.push(1);
+                out.extend_from_slice(&lock.to_le_bytes());
+                crate::wire::put_blob(&mut out, diffs);
+            }
+            LockMsg::Rel { lock, diffs } => {
+                out.push(2);
+                out.extend_from_slice(&lock.to_le_bytes());
+                crate::wire::put_blob(&mut out, diffs);
+            }
+        }
+        out
     }
 
     /// Deserializes from the wire.
     pub fn decode(bytes: &[u8]) -> MemResult<Self> {
-        bincode::serde::decode_from_slice(bytes, bincode::config::standard())
-            .map(|(m, _)| m)
-            .map_err(|_| MemFault::InvariantViolated { check: 0xD9 })
+        let bad = MemFault::InvariantViolated { check: 0xD9 };
+        let mut r = crate::wire::Reader::new(bytes);
+        let msg = match r.u8().map_err(|_| bad)? {
+            0 => LockMsg::Req {
+                lock: r.u32().map_err(|_| bad)?,
+            },
+            1 => LockMsg::Grant {
+                lock: r.u32().map_err(|_| bad)?,
+                diffs: r.blob().map_err(|_| bad)?,
+            },
+            2 => LockMsg::Rel {
+                lock: r.u32().map_err(|_| bad)?,
+                diffs: r.blob().map_err(|_| bad)?,
+            },
+            _ => return Err(bad),
+        };
+        r.finish().map_err(|_| bad)?;
+        Ok(msg)
     }
 }
 

@@ -1,0 +1,174 @@
+//! Flat little-endian wire codec for DSM messages.
+//!
+//! The checkpointing runtime treats payloads as opaque bytes; all that
+//! matters is that encoding is deterministic (identical inputs yield
+//! identical bytes, so resent messages deduplicate) and that decoding
+//! rejects malformed payloads with a memory fault rather than panicking —
+//! fault-injection campaigns corrupt message buffers on purpose.
+//!
+//! Layout: integers are little-endian; vectors are a `u32` count followed
+//! by the elements.
+
+use ft_mem::error::{MemFault, MemResult};
+
+use crate::{DiffMsg, PageDiff};
+
+const BAD: MemFault = MemFault::InvariantViolated { check: 0xD6 };
+
+/// Incremental little-endian reader over a payload.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn u8(&mut self) -> MemResult<u8> {
+        let b = *self.buf.get(self.pos).ok_or(BAD)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub(crate) fn u32(&mut self) -> MemResult<u32> {
+        let b = self.buf.get(self.pos..self.pos + 4).ok_or(BAD)?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> MemResult<u64> {
+        let b = self.buf.get(self.pos..self.pos + 8).ok_or(BAD)?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> MemResult<&'a [u8]> {
+        let b = self.buf.get(self.pos..self.pos.checked_add(n).ok_or(BAD)?);
+        let b = b.ok_or(BAD)?;
+        self.pos += n;
+        Ok(b)
+    }
+
+    /// A `u32` length prefix followed by that many bytes.
+    pub(crate) fn blob(&mut self) -> MemResult<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.bytes(n)?.to_vec())
+    }
+
+    /// Fails unless the payload was consumed exactly.
+    pub(crate) fn finish(self) -> MemResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(BAD)
+        }
+    }
+}
+
+pub(crate) fn put_blob(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn encode_diffs_into(out: &mut Vec<u8>, diffs: &[PageDiff]) {
+    out.extend_from_slice(&(diffs.len() as u32).to_le_bytes());
+    for d in diffs {
+        out.extend_from_slice(&d.page.to_le_bytes());
+        out.extend_from_slice(&(d.runs.len() as u32).to_le_bytes());
+        for (off, run) in &d.runs {
+            out.extend_from_slice(&off.to_le_bytes());
+            put_blob(out, run);
+        }
+    }
+}
+
+fn decode_diffs_from(r: &mut Reader) -> MemResult<Vec<PageDiff>> {
+    let n = r.u32()? as usize;
+    let mut diffs = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let page = r.u32()?;
+        let n_runs = r.u32()? as usize;
+        let mut runs = Vec::with_capacity(n_runs.min(1 << 16));
+        for _ in 0..n_runs {
+            let off = r.u32()?;
+            runs.push((off, r.blob()?));
+        }
+        diffs.push(PageDiff { page, runs });
+    }
+    Ok(diffs)
+}
+
+/// Encodes a bare diff vector (lock release / grant payloads).
+pub(crate) fn encode_diffs(diffs: &[PageDiff]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_diffs_into(&mut out, diffs);
+    out
+}
+
+/// Decodes a bare diff vector.
+pub(crate) fn decode_diffs(payload: &[u8]) -> MemResult<Vec<PageDiff>> {
+    let mut r = Reader::new(payload);
+    let diffs = decode_diffs_from(&mut r)?;
+    r.finish()?;
+    Ok(diffs)
+}
+
+/// Encodes a barrier diff message.
+pub(crate) fn encode_diff_msg(msg: &DiffMsg) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&msg.round.to_le_bytes());
+    out.extend_from_slice(&msg.from.to_le_bytes());
+    encode_diffs_into(&mut out, &msg.diffs);
+    out
+}
+
+/// Decodes a barrier diff message.
+pub(crate) fn decode_diff_msg(payload: &[u8]) -> MemResult<DiffMsg> {
+    let mut r = Reader::new(payload);
+    let round = r.u64()?;
+    let from = r.u32()?;
+    let diffs = decode_diffs_from(&mut r)?;
+    r.finish()?;
+    Ok(DiffMsg { round, from, diffs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_msg_roundtrips() {
+        let msg = DiffMsg {
+            round: 7,
+            from: 2,
+            diffs: vec![
+                PageDiff {
+                    page: 0,
+                    runs: vec![(0, vec![1, 2, 3]), (9, vec![])],
+                },
+                PageDiff {
+                    page: 31,
+                    runs: vec![],
+                },
+            ],
+        };
+        let bytes = encode_diff_msg(&msg);
+        let back = decode_diff_msg(&bytes).unwrap();
+        assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn truncated_and_oversized_payloads_fail() {
+        let bytes = encode_diffs(&[PageDiff {
+            page: 1,
+            runs: vec![(4, vec![9; 16])],
+        }]);
+        assert!(decode_diffs(&bytes[..bytes.len() - 1]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(decode_diffs(&longer).is_err());
+        assert!(decode_diff_msg(&[0xFF; 3]).is_err());
+    }
+}

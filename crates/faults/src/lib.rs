@@ -23,6 +23,11 @@
 //! panics the node immediately (a stop failure) or corrupts a few syscall
 //! results before panicking (a propagation failure), with the propagation
 //! probability and corruption depth drawn per fault type.
+//!
+//! Network faults sit alongside both: a [`NetFaultSpec`] describes an
+//! unreliable fabric (loss, duplication, reordering, partitions) and
+//! builds the `ft-sim` transport's [`NetFaultPlan`], so a campaign can
+//! combine environment failures with code and kernel bugs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,13 +35,14 @@
 use ft_core::event::ProcessId;
 use ft_mem::arena::Region;
 use ft_mem::mem::Mem;
+use ft_sim::cost::{SimTime, MS, US};
+use ft_sim::net::{NetFaultPlan, Partition};
 use ft_sim::rng::SplitMix64;
 use ft_sim::sim::Simulator;
 use ft_sim::syscalls::{SysMem, Syscalls};
-use serde::{Deserialize, Serialize};
 
 /// The seven application fault types of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultType {
     /// Flip a random bit in the stack region.
     StackBitFlip,
@@ -87,7 +93,7 @@ impl std::fmt::Display for FaultType {
 }
 
 /// One armed fault: a (type, site, trigger visit) triple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     /// The fault type.
     pub fault: FaultType,
@@ -266,7 +272,7 @@ impl FaultInjector {
 
 /// A kernel fault campaign entry (§4.2): injected into the node kernel
 /// under an application.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelFaultPlan {
     /// The fault type (reusing the application taxonomy, as the paper
     /// does).
@@ -326,6 +332,195 @@ impl KernelFaultPlan {
             sim.kill_at(pid, self.inject_at);
         }
         propagate
+    }
+}
+
+/// The network fault taxonomy: environment failures of the fabric under
+/// the testbed, as opposed to the Table 1 code faults and §4.2 kernel
+/// faults. The reliable transport must mask all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetFaultType {
+    /// A transmission attempt (data or ack) vanishes.
+    MessageLoss,
+    /// A delivered payload is duplicated in flight.
+    Duplication,
+    /// Arrivals are delayed by a random window, letting later sends
+    /// overtake earlier ones.
+    Reordering,
+    /// An ordered process pair cannot communicate for an interval.
+    Partition,
+}
+
+impl NetFaultType {
+    /// All four network fault types.
+    pub const ALL: [NetFaultType; 4] = [
+        NetFaultType::MessageLoss,
+        NetFaultType::Duplication,
+        NetFaultType::Reordering,
+        NetFaultType::Partition,
+    ];
+
+    /// Report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFaultType::MessageLoss => "Message loss",
+            NetFaultType::Duplication => "Duplication",
+            NetFaultType::Reordering => "Reordering",
+            NetFaultType::Partition => "Partition",
+        }
+    }
+}
+
+impl std::fmt::Display for NetFaultType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builder for an unreliable-fabric description. Composes the network
+/// fault types into one [`NetFaultPlan`] for the simulator's transport.
+///
+/// ```
+/// use ft_faults::NetFaultSpec;
+/// use ft_core::event::ProcessId;
+///
+/// let plan = NetFaultSpec::new(0xFAB)
+///     .loss(0.05)
+///     .duplication(0.01)
+///     .reorder_window_us(300)
+///     .partition(ProcessId(0), ProcessId(1), 1_000_000, 5_000_000)
+///     .build();
+/// assert_eq!(plan.partitions.len(), 2); // Both directions.
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetFaultSpec {
+    plan: NetFaultPlan,
+}
+
+impl NetFaultSpec {
+    /// A lossless fabric with the given fabric seed (independent of the
+    /// simulator seed).
+    pub fn new(seed: u64) -> Self {
+        NetFaultSpec {
+            plan: NetFaultPlan {
+                seed,
+                ..NetFaultPlan::default()
+            },
+        }
+    }
+
+    /// Sets the per-attempt drop probability ([`NetFaultType::MessageLoss`]).
+    pub fn loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.plan.drop_prob = p;
+        self
+    }
+
+    /// Sets the payload duplication probability
+    /// ([`NetFaultType::Duplication`]).
+    pub fn duplication(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "dup probability out of range");
+        self.plan.dup_prob = p;
+        self
+    }
+
+    /// Sets the reordering window in microseconds
+    /// ([`NetFaultType::Reordering`]).
+    pub fn reorder_window_us(mut self, us: u64) -> Self {
+        self.plan.reorder_window_ns = us * US;
+        self
+    }
+
+    /// Sets the per-attempt latency jitter in microseconds.
+    pub fn jitter_us(mut self, us: u64) -> Self {
+        self.plan.jitter_ns = us * US;
+        self
+    }
+
+    /// Adds a symmetric partition between `a` and `b` over `[start, end)`
+    /// ([`NetFaultType::Partition`]).
+    pub fn partition(mut self, a: ProcessId, b: ProcessId, start: SimTime, end: SimTime) -> Self {
+        assert!(start < end, "empty partition interval");
+        for (f, t) in [(a.0, b.0), (b.0, a.0)] {
+            self.plan.partitions.push(Partition {
+                from: f,
+                to: t,
+                start,
+                end,
+            });
+        }
+        self
+    }
+
+    /// Adds a one-directional partition (asymmetric link failure).
+    pub fn one_way_partition(
+        mut self,
+        from: ProcessId,
+        to: ProcessId,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
+        assert!(start < end, "empty partition interval");
+        self.plan.partitions.push(Partition {
+            from: from.0,
+            to: to.0,
+            start,
+            end,
+        });
+        self
+    }
+
+    /// Overrides the transport's retransmission parameters.
+    pub fn retransmit(
+        mut self,
+        rto_ns: SimTime,
+        max_backoff_ns: SimTime,
+        max_retries: u32,
+    ) -> Self {
+        self.plan.rto_ns = rto_ns;
+        self.plan.max_backoff_ns = max_backoff_ns;
+        self.plan.max_retries = max_retries;
+        self
+    }
+
+    /// The network fault types this spec actually exercises.
+    pub fn kinds(&self) -> Vec<NetFaultType> {
+        let mut kinds = Vec::new();
+        if self.plan.drop_prob > 0.0 {
+            kinds.push(NetFaultType::MessageLoss);
+        }
+        if self.plan.dup_prob > 0.0 {
+            kinds.push(NetFaultType::Duplication);
+        }
+        if self.plan.reorder_window_ns > 0 || self.plan.jitter_ns > 0 {
+            kinds.push(NetFaultType::Reordering);
+        }
+        if !self.plan.partitions.is_empty() {
+            kinds.push(NetFaultType::Partition);
+        }
+        kinds
+    }
+
+    /// The built plan.
+    pub fn build(self) -> NetFaultPlan {
+        self.plan
+    }
+
+    /// Builds and installs the plan on a simulator (before the run).
+    pub fn install(self, sim: &mut Simulator) {
+        sim.install_net_fault_plan(self.plan);
+    }
+
+    /// The canonical lossy-fabric shape used by the degradation sweeps: a
+    /// given loss rate plus light duplication and a reordering window on
+    /// the order of the base network latency.
+    pub fn lossy(seed: u64, loss: f64) -> Self {
+        NetFaultSpec::new(seed)
+            .loss(loss)
+            .duplication(0.01)
+            .reorder_window_us(200)
+            .jitter_us(50)
+            .retransmit(500 * US, 20 * MS, 8)
     }
 }
 
@@ -571,5 +766,53 @@ mod tests {
         assert_eq!(FaultType::ALL.len(), 7);
         assert_eq!(FaultType::StackBitFlip.name(), "Stack bit flip");
         assert_eq!(FaultType::OffByOne.name(), "Off by one");
+    }
+
+    #[test]
+    fn net_fault_spec_builds_and_reports_kinds() {
+        let spec = NetFaultSpec::new(9)
+            .loss(0.1)
+            .duplication(0.02)
+            .reorder_window_us(100)
+            .partition(ProcessId(0), ProcessId(2), 10, 20)
+            .one_way_partition(ProcessId(1), ProcessId(0), 5, 15);
+        assert_eq!(spec.kinds(), NetFaultType::ALL.to_vec());
+        let plan = spec.build();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.drop_prob, 0.1);
+        assert_eq!(plan.partitions.len(), 3);
+        // The symmetric partition covers both directions.
+        assert!(plan
+            .partitioned_until(ProcessId(0), ProcessId(2), 10)
+            .is_some());
+        assert!(plan
+            .partitioned_until(ProcessId(2), ProcessId(0), 19)
+            .is_some());
+        assert!(plan
+            .partitioned_until(ProcessId(0), ProcessId(2), 20)
+            .is_none());
+    }
+
+    #[test]
+    fn lossless_spec_exercises_nothing() {
+        let spec = NetFaultSpec::new(1);
+        assert!(spec.kinds().is_empty());
+        let plan = spec.build();
+        assert_eq!(
+            plan,
+            NetFaultPlan {
+                seed: 1,
+                ..NetFaultPlan::default()
+            }
+        );
+    }
+
+    #[test]
+    fn spec_installs_on_a_simulator() {
+        let mut sim = Simulator::new(SimConfig::single_node(2, 5));
+        NetFaultSpec::lossy(77, 0.05).install(&mut sim);
+        let plan = sim.network().fault_plan().expect("plan installed");
+        assert_eq!(plan.seed, 77);
+        assert_eq!(plan.drop_prob, 0.05);
     }
 }

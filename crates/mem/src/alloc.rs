@@ -14,8 +14,6 @@
 //! commit time, exactly as Discount Checking copies the register file to a
 //! persistent buffer (§3).
 
-use serde::{Deserialize, Serialize};
-
 use crate::arena::{Arena, Region};
 use crate::error::{MemFault, MemResult};
 
@@ -29,7 +27,7 @@ const WORD: usize = 8;
 pub const ALLOC_OVERHEAD: usize = 3 * WORD;
 
 /// One live allocation: `data_off` points at usable bytes of length `size`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Allocation {
     /// Offset of the usable data.
     pub data_off: usize,
@@ -38,7 +36,7 @@ pub struct Allocation {
 }
 
 /// A first-fit free-list allocator over the arena's heap region.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Allocator {
     heap_start: usize,
     heap_end: usize,
@@ -190,6 +188,66 @@ impl Allocator {
     /// The live allocations, for inspection and fault targeting.
     pub fn live(&self) -> &[Allocation] {
         &self.live
+    }
+
+    /// Serializes the bookkeeping to a flat little-endian byte image, the
+    /// form the checkpointing runtime stores in its register/control block
+    /// at commit time.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40 + 16 * (self.free.len() + self.live.len()));
+        let word = |v: usize| (v as u64).to_le_bytes();
+        out.extend_from_slice(&word(self.heap_start));
+        out.extend_from_slice(&word(self.heap_end));
+        out.extend_from_slice(&word(self.bump));
+        out.extend_from_slice(&word(self.free.len()));
+        for &(off, size) in &self.free {
+            out.extend_from_slice(&word(off));
+            out.extend_from_slice(&word(size));
+        }
+        out.extend_from_slice(&word(self.live.len()));
+        for a in &self.live {
+            out.extend_from_slice(&word(a.data_off));
+            out.extend_from_slice(&word(a.size));
+        }
+        out
+    }
+
+    /// Reconstructs an allocator from [`Allocator::to_bytes`] output.
+    /// Returns `None` on a malformed image.
+    pub fn from_bytes(blob: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let mut word = |blob: &[u8]| -> Option<usize> {
+            let b = blob.get(pos..pos + 8)?;
+            pos += 8;
+            Some(u64::from_le_bytes(b.try_into().ok()?) as usize)
+        };
+        let heap_start = word(blob)?;
+        let heap_end = word(blob)?;
+        let bump = word(blob)?;
+        let n_free = word(blob)?;
+        let mut free = Vec::with_capacity(n_free.min(1 << 20));
+        for _ in 0..n_free {
+            let off = word(blob)?;
+            let size = word(blob)?;
+            free.push((off, size));
+        }
+        let n_live = word(blob)?;
+        let mut live = Vec::with_capacity(n_live.min(1 << 20));
+        for _ in 0..n_live {
+            let data_off = word(blob)?;
+            let size = word(blob)?;
+            live.push(Allocation { data_off, size });
+        }
+        if pos != blob.len() {
+            return None;
+        }
+        Some(Allocator {
+            heap_start,
+            heap_end,
+            bump,
+            free,
+            live,
+        })
     }
 }
 

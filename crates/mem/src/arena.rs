@@ -12,8 +12,6 @@
 //! matching the fault-injection taxonomy of §4.1 (stack bit flips vs. heap
 //! bit flips).
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{MemFault, MemResult};
 use crate::pod::Pod;
 
@@ -21,7 +19,7 @@ use crate::pod::Pod;
 pub const PAGE_SIZE: usize = 4096;
 
 /// A named region of the arena (§4.1's fault taxonomy distinguishes them).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Region {
     /// Global/static data.
     Globals,
@@ -32,7 +30,7 @@ pub enum Region {
 }
 
 /// Arena layout: number of pages per region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Layout {
     /// Pages of global data.
     pub globals_pages: usize,
@@ -59,7 +57,7 @@ impl Layout {
 }
 
 /// Running statistics for an arena, feeding the Figure 8 cost model.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArenaStats {
     /// Write-barrier "traps": first writes to a clean page since the last
     /// commit (each costs a page-protection fault in the real system).
@@ -77,7 +75,7 @@ pub struct ArenaStats {
 }
 
 /// What one commit had to persist (drives the time-cost model).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommitRecord {
     /// Pages dirtied since the previous commit.
     pub dirty_pages: usize,
@@ -89,7 +87,7 @@ pub struct CommitRecord {
 }
 
 /// A process address space in reliable memory.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Arena {
     layout: Layout,
     data: Vec<u8>,

@@ -8,15 +8,13 @@
 //! are calibrated to the paper's 1998-era testbed (IBM Ultrastar SCSI disk,
 //! 100 MHz SDRAM) so that Figure 8's overhead *shape* is reproduced.
 
-use serde::{Deserialize, Serialize};
-
 use crate::arena::CommitRecord;
 
 /// Nanoseconds, the simulation time unit.
 pub type Nanos = u64;
 
 /// Cost model for Rio reliable-memory commits (Discount Checking).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RioModel {
     /// Fixed cost per commit: copy the register file, discard the undo log,
     /// reset page protections.
@@ -49,7 +47,7 @@ impl RioModel {
 }
 
 /// Cost model for synchronous-disk commits (DC-disk).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskModel {
     /// Seek + rotational latency per synchronous write.
     pub latency_ns: Nanos,
@@ -95,7 +93,7 @@ impl DiskModel {
 }
 
 /// The checkpoint medium: Discount Checking on Rio, or DC-disk.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Medium {
     /// Reliable main memory (Rio + Vista): Discount Checking.
     Rio(RioModel),

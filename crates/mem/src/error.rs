@@ -5,11 +5,9 @@
 //! corrupted guard band is a failed consistency check — in either case the
 //! process "simply terminates execution, effectively crashing" (§2.6).
 
-use serde::{Deserialize, Serialize};
-
 /// A memory fault: the simulation-level analogue of a segfault or a failed
 /// consistency check.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemFault {
     /// Access outside the arena (or outside an allocation's bounds when
     /// checked access is used): a segfault.

@@ -11,8 +11,6 @@
 //! and the handle-persistence helpers on [`crate::vec::ArenaVec`] make this
 //! cheap.
 
-use serde::{Deserialize, Serialize};
-
 use crate::alloc::Allocator;
 use crate::arena::{Arena, Layout};
 use crate::error::MemResult;
@@ -49,10 +47,9 @@ impl Mem {
 
 /// A typed cell at a fixed arena offset — the idiom for application
 /// "globals" (state-machine phase, counters, persisted container handles).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArenaCell<T> {
     offset: usize,
-    #[serde(skip)]
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 

@@ -8,20 +8,17 @@
 
 use std::marker::PhantomData;
 
-use serde::{Deserialize, Serialize};
-
 use crate::alloc::Allocator;
 use crate::arena::Arena;
 use crate::error::{MemFault, MemResult};
 use crate::pod::Pod;
 
 /// A typed, growable vector whose storage lives in the arena heap.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ArenaVec<T> {
     data_off: usize,
     len: usize,
     cap: usize,
-    #[serde(skip)]
     _marker: PhantomData<fn() -> T>,
 }
 

@@ -1,12 +1,28 @@
-//! Property tests for the memory substrate: rollback is exact, the arena
-//! vector behaves like `Vec`, and the allocator never hands out overlapping
-//! or unguarded blocks.
-
-use proptest::prelude::*;
+//! Randomized model tests for the memory substrate: rollback is exact, the
+//! arena vector behaves like `Vec`, and the allocator never hands out
+//! overlapping or unguarded blocks. Seeded and deterministic (ft-mem sits
+//! below the simulator crate, so it carries its own tiny generator).
 
 use ft_mem::alloc::Allocator;
 use ft_mem::arena::{Arena, Layout, PAGE_SIZE};
 use ft_mem::vec::ArenaVec;
+
+/// SplitMix64, the same generator the simulator uses.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
 
 #[derive(Debug, Clone)]
 enum VecOp {
@@ -18,22 +34,25 @@ enum VecOp {
     Truncate(usize),
 }
 
-fn vec_op() -> impl Strategy<Value = VecOp> {
-    prop_oneof![
-        any::<u32>().prop_map(VecOp::Push),
-        Just(VecOp::Pop),
-        (0usize..64, any::<u32>()).prop_map(|(i, v)| VecOp::Set(i, v)),
-        (0usize..64, any::<u32>()).prop_map(|(i, v)| VecOp::Insert(i, v)),
-        (0usize..64).prop_map(VecOp::Remove),
-        (0usize..64).prop_map(VecOp::Truncate),
-    ]
+fn random_vec_op(rng: &mut Rng) -> VecOp {
+    match rng.below(6) {
+        0 => VecOp::Push(rng.next_u64() as u32),
+        1 => VecOp::Pop,
+        2 => VecOp::Set(rng.below(64) as usize, rng.next_u64() as u32),
+        3 => VecOp::Insert(rng.below(64) as usize, rng.next_u64() as u32),
+        4 => VecOp::Remove(rng.below(64) as usize),
+        _ => VecOp::Truncate(rng.below(64) as usize),
+    }
 }
 
-proptest! {
-    /// ArenaVec agrees with a model Vec under arbitrary operation
-    /// sequences; out-of-bounds operations fail on both sides.
-    #[test]
-    fn arena_vec_matches_model(ops in proptest::collection::vec(vec_op(), 0..200)) {
+/// ArenaVec agrees with a model Vec under arbitrary operation
+/// sequences; out-of-bounds operations fail on both sides.
+#[test]
+fn arena_vec_matches_model() {
+    let mut seeds = Rng(0xA12E_A5EC);
+    for _ in 0..128 {
+        let mut rng = Rng(seeds.next_u64());
+        let n_ops = rng.below(200) as usize;
         let mut arena = Arena::new(Layout {
             globals_pages: 1,
             stack_pages: 1,
@@ -42,25 +61,25 @@ proptest! {
         let mut alloc = Allocator::new(&arena);
         let mut v = ArenaVec::<u32>::with_capacity(&mut arena, &mut alloc, 4).unwrap();
         let mut model: Vec<u32> = Vec::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_vec_op(&mut rng) {
                 VecOp::Push(x) => {
                     v.push(&mut arena, &mut alloc, x).unwrap();
                     model.push(x);
                 }
                 VecOp::Pop => {
-                    prop_assert_eq!(v.pop(&arena).unwrap(), model.pop());
+                    assert_eq!(v.pop(&arena).unwrap(), model.pop());
                 }
                 VecOp::Set(i, x) => {
                     let ok = v.set(&mut arena, i, x).is_ok();
-                    prop_assert_eq!(ok, i < model.len());
+                    assert_eq!(ok, i < model.len());
                     if ok {
                         model[i] = x;
                     }
                 }
                 VecOp::Insert(i, x) => {
                     let ok = v.insert(&mut arena, &mut alloc, i, x).is_ok();
-                    prop_assert_eq!(ok, i <= model.len());
+                    assert_eq!(ok, i <= model.len());
                     if ok {
                         model.insert(i, x);
                     }
@@ -68,9 +87,9 @@ proptest! {
                 VecOp::Remove(i) => {
                     let r = v.remove(&mut arena, i);
                     if i < model.len() {
-                        prop_assert_eq!(r.unwrap(), model.remove(i));
+                        assert_eq!(r.unwrap(), model.remove(i));
                     } else {
-                        prop_assert!(r.is_err());
+                        assert!(r.is_err());
                     }
                 }
                 VecOp::Truncate(n) => {
@@ -78,19 +97,28 @@ proptest! {
                     model.truncate(n);
                 }
             }
-            prop_assert_eq!(v.len(), model.len());
+            assert_eq!(v.len(), model.len());
         }
-        prop_assert_eq!(v.to_vec(&arena).unwrap(), model);
-        prop_assert!(alloc.check_integrity(&arena).is_ok());
+        assert_eq!(v.to_vec(&arena).unwrap(), model);
+        assert!(alloc.check_integrity(&arena).is_ok());
     }
+}
 
-    /// Rollback exactly restores the last committed image, no matter what
-    /// writes happened since.
-    #[test]
-    fn rollback_is_exact(
-        committed in proptest::collection::vec((0usize..8 * PAGE_SIZE - 9, any::<u64>()), 0..40),
-        scratch in proptest::collection::vec((0usize..8 * PAGE_SIZE - 9, any::<u64>()), 0..40),
-    ) {
+/// Rollback exactly restores the last committed image, no matter what
+/// writes happened since.
+#[test]
+fn rollback_is_exact() {
+    let mut seeds = Rng(0x0B0E_11BA);
+    for _ in 0..128 {
+        let mut rng = Rng(seeds.next_u64());
+        let writes = |rng: &mut Rng| -> Vec<(usize, u64)> {
+            let n = rng.below(40) as usize;
+            (0..n)
+                .map(|_| (rng.below(8 * PAGE_SIZE as u64 - 9) as usize, rng.next_u64()))
+                .collect()
+        };
+        let committed = writes(&mut rng);
+        let scratch = writes(&mut rng);
         let mut arena = Arena::new(Layout {
             globals_pages: 2,
             stack_pages: 2,
@@ -105,15 +133,21 @@ proptest! {
             arena.write_pod(off, val).unwrap();
         }
         arena.rollback();
-        prop_assert_eq!(arena.read(0, arena.size()).unwrap(), &snapshot[..]);
+        assert_eq!(arena.read(0, arena.size()).unwrap(), &snapshot[..]);
         // Idempotent: rolling back again changes nothing.
         arena.rollback();
-        prop_assert_eq!(arena.read(0, arena.size()).unwrap(), &snapshot[..]);
+        assert_eq!(arena.read(0, arena.size()).unwrap(), &snapshot[..]);
     }
+}
 
-    /// Live allocations never overlap each other (or their guard words).
-    #[test]
-    fn allocations_never_overlap(sizes in proptest::collection::vec(1usize..512, 1..60)) {
+/// Live allocations never overlap each other (or their guard words).
+#[test]
+fn allocations_never_overlap() {
+    let mut seeds = Rng(0x00A1_10C8);
+    for _ in 0..192 {
+        let mut rng = Rng(seeds.next_u64());
+        let n = 1 + rng.below(59) as usize;
+        let sizes: Vec<usize> = (0..n).map(|_| 1 + rng.below(511) as usize).collect();
         let mut arena = Arena::new(Layout {
             globals_pages: 1,
             stack_pages: 1,
@@ -133,15 +167,23 @@ proptest! {
         }
         spans.sort_unstable();
         for w in spans.windows(2) {
-            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+            assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
         }
-        prop_assert!(alloc.check_integrity(&arena).is_ok());
+        assert!(alloc.check_integrity(&arena).is_ok());
     }
+}
 
-    /// Commit counts dirty pages exactly: the number of distinct pages
-    /// touched since the last commit.
-    #[test]
-    fn commit_counts_distinct_pages(offs in proptest::collection::vec(0usize..16 * PAGE_SIZE - 1, 1..100)) {
+/// Commit counts dirty pages exactly: the number of distinct pages
+/// touched since the last commit.
+#[test]
+fn commit_counts_distinct_pages() {
+    let mut seeds = Rng(0xC0017);
+    for _ in 0..192 {
+        let mut rng = Rng(seeds.next_u64());
+        let n = 1 + rng.below(99) as usize;
+        let offs: Vec<usize> = (0..n)
+            .map(|_| rng.below(16 * PAGE_SIZE as u64 - 1) as usize)
+            .collect();
         let mut arena = Arena::new(Layout {
             globals_pages: 8,
             stack_pages: 4,
@@ -153,6 +195,40 @@ proptest! {
             pages.insert(off / PAGE_SIZE);
         }
         let rec = arena.commit();
-        prop_assert_eq!(rec.dirty_pages, pages.len());
+        assert_eq!(rec.dirty_pages, pages.len());
+    }
+}
+
+/// The allocator's checkpoint byte image round-trips exactly (the blob the
+/// recovery runtime stores in its committed control block).
+#[test]
+fn allocator_bytes_roundtrip() {
+    let mut seeds = Rng(0xB10B);
+    for _ in 0..64 {
+        let mut rng = Rng(seeds.next_u64());
+        let mut arena = Arena::new(Layout {
+            globals_pages: 1,
+            stack_pages: 1,
+            heap_pages: 64,
+        });
+        let mut alloc = Allocator::new(&arena);
+        let mut live = Vec::new();
+        for _ in 0..rng.below(40) {
+            let off = alloc
+                .alloc(&mut arena, 1 + rng.below(256) as usize)
+                .unwrap();
+            live.push(off);
+            if !live.is_empty() && rng.below(3) == 0 {
+                let i = rng.below(live.len() as u64) as usize;
+                alloc.free(&arena, live.swap_remove(i)).unwrap();
+            }
+        }
+        let blob = alloc.to_bytes();
+        let back = Allocator::from_bytes(&blob).unwrap();
+        assert_eq!(back.live(), alloc.live());
+        assert_eq!(back.high_water(), alloc.high_water());
+        assert_eq!(back.to_bytes(), blob);
+        // Truncated images are rejected, not misread.
+        assert!(Allocator::from_bytes(&blob[..blob.len() - 1]).is_none());
     }
 }

@@ -5,8 +5,6 @@
 //! of Figure 8 depends on these — ratios between syscall costs, commit
 //! costs, and think times — not the absolute values.
 
-use serde::{Deserialize, Serialize};
-
 /// Simulated time in nanoseconds.
 pub type SimTime = u64;
 
@@ -18,7 +16,7 @@ pub const US: SimTime = 1_000;
 pub const SEC: SimTime = 1_000_000_000;
 
 /// Per-operation costs charged by the syscall layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// Base cost of entering/leaving a (interposed) system call.
     pub syscall_ns: SimTime,

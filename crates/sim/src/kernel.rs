@@ -10,14 +10,12 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::rng::SplitMix64;
 
 use crate::syscalls::{SysError, SysResult};
 
 /// An open-file-table entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct OpenFile {
     name: String,
     pos: usize,

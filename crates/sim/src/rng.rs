@@ -6,10 +6,8 @@
 //! one word of state — entirely sufficient for modeling non-deterministic
 //! *choice* (the values only need to be well spread, not cryptographic).
 
-use serde::{Deserialize, Serialize};
-
 /// A SplitMix64 generator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SplitMix64 {
     state: u64,
 }

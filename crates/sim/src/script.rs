@@ -7,8 +7,6 @@
 //! retypes the same thing, which the script models by letting its cursor be
 //! rolled back.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cost::SimTime;
 
 /// A timed user-input script.
@@ -18,7 +16,7 @@ use crate::cost::SimTime;
 /// keystroke") make each input due a fixed think time after the previous
 /// one was consumed — so recovery-runtime overhead lengthens the session
 /// instead of hiding inside idle time.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct InputScript {
     items: Vec<(SimTime, Vec<u8>)>,
     cursor: usize,
@@ -134,7 +132,7 @@ impl InputScript {
 }
 
 /// A schedule of asynchronous signals.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SignalSchedule {
     items: Vec<(SimTime, u32)>,
     cursor: usize,

@@ -22,7 +22,7 @@ use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 use crate::cost::{CostModel, SimTime};
 use crate::kernel::Kernel;
-use crate::net::Network;
+use crate::net::{NetFaultPlan, NetStats, Network, SendOutcome, UNDELIVERED};
 use crate::rng::SplitMix64;
 use crate::script::{InputScript, SignalSchedule};
 use crate::syscalls::{AppStatus, Message, SysError, SysResult, Syscalls, WaitCond};
@@ -111,10 +111,26 @@ enum Status {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum QEv {
-    Ready { pid: u32, gen: u64 },
-    Deliver { pid: u32 },
-    Signal { pid: u32 },
-    Kill { pid: u32 },
+    Ready {
+        pid: u32,
+        gen: u64,
+    },
+    Deliver {
+        pid: u32,
+    },
+    Signal {
+        pid: u32,
+    },
+    Kill {
+        pid: u32,
+    },
+    /// A transport retransmission timer for `(from, to, seq)`. Internal
+    /// to the fabric: handled in the pop loop without waking any process.
+    Retransmit {
+        from: u32,
+        to: u32,
+        seq: u64,
+    },
 }
 
 /// Per-process accounting, for experiment reporting.
@@ -284,6 +300,20 @@ impl Simulator {
                         return Some(Wake::Killed(ProcessId(pid)));
                     }
                 }
+                QEv::Retransmit { from, to, seq } => {
+                    // Fabric-internal: run the transport attempt and keep
+                    // popping. (The queue is time-ordered, so `t` is this
+                    // attempt's instant.)
+                    let (arrival, retry) =
+                        self.net
+                            .handle_retransmit(ProcessId(from), ProcessId(to), seq, t);
+                    if let Some(at) = arrival {
+                        self.push(at, QEv::Deliver { pid: to });
+                    }
+                    if let Some(rt) = retry {
+                        self.push(rt, QEv::Retransmit { from, to, seq });
+                    }
+                }
             }
         }
         None
@@ -415,6 +445,19 @@ impl Simulator {
     /// Is the process crashed (and not yet respawned)?
     pub fn is_crashed(&self, pid: ProcessId) -> bool {
         self.status[pid.index()] == Status::Crashed
+    }
+
+    /// Installs an unreliable-fabric description on the network,
+    /// activating the transport layer (acks, retransmission, backoff).
+    /// Install before the run starts; a plan with all probabilities zero
+    /// reproduces the reliable network bit-for-bit.
+    pub fn install_net_fault_plan(&mut self, plan: NetFaultPlan) {
+        self.net.install_fault_plan(plan);
+    }
+
+    /// Transport-layer counters (zero unless a fault plan is installed).
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
     }
 
     /// The network fabric (recovery managers rewind cursors through this).
@@ -718,14 +761,43 @@ impl<'a> Syscalls for SysCtx<'a> {
         let seq = *seq_entry;
         *seq_entry += 1;
         let (deps, tainted) = self.send_meta.take().unwrap_or_default();
-        let deliver_at = self.now() + self.sim.cfg.cost.net_delivery_ns(payload.len());
+        let sent_at = self.now();
+        let latency = self.sim.cfg.cost.net_delivery_ns(payload.len());
+        let deliver_at = sent_at + latency;
         let (_, trace_msg) = self.sim.tracer.send(self.pid, to);
-        self.sim.net.send(
+        let outcome = self.sim.net.send(
             self.pid, to, seq, payload, deps, tainted, deliver_at, trace_msg,
         );
         self.sim.stats[self.pid.index()].sends += 1;
-        let t = deliver_at;
-        self.sim.push(t, QEv::Deliver { pid: to.0 });
+        if self.sim.net.fault_plan().is_some() {
+            match outcome {
+                SendOutcome::Enqueued(_) => {
+                    // Fresh enqueue: run the first transmission attempt
+                    // through the transport.
+                    let (arrival, retry) =
+                        self.sim.net.dispatch(self.pid, to, seq, sent_at, latency);
+                    if let Some(at) = arrival {
+                        self.sim.push(at, QEv::Deliver { pid: to.0 });
+                    }
+                    if let Some(rt) = retry {
+                        let (from, to) = (self.pid.0, to.0);
+                        self.sim.push(rt, QEv::Retransmit { from, to, seq });
+                    }
+                }
+                SendOutcome::Duplicate(at) if at != UNDELIVERED => {
+                    // Replay dedup of an already-arrived message: wake the
+                    // receiver at the original arrival, as the plain
+                    // network would.
+                    self.sim.push(at, QEv::Deliver { pid: to.0 });
+                }
+                SendOutcome::Duplicate(_) => {
+                    // Replay dedup of a message the transport still owes:
+                    // its retransmission timer owns the next wake.
+                }
+            }
+        } else {
+            self.sim.push(deliver_at, QEv::Deliver { pid: to.0 });
+        }
         Ok(())
     }
 

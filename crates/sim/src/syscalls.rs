@@ -15,12 +15,11 @@ use ft_core::event::ProcessId;
 use ft_mem::arena::Layout;
 use ft_mem::error::MemResult;
 use ft_mem::mem::Mem;
-use serde::{Deserialize, Serialize};
 
 use crate::cost::SimTime;
 
 /// Errors returned by the simulated kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SysError {
     /// Bad file descriptor.
     BadFd,
@@ -54,7 +53,7 @@ impl std::error::Error for SysError {}
 pub type SysResult<T> = Result<T, SysError>;
 
 /// A delivered message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
     /// Sending process.
     pub from: ProcessId,
@@ -71,7 +70,7 @@ pub struct Message {
 }
 
 /// What a blocked process is waiting for. Any satisfied condition wakes it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WaitCond {
     /// Wake when a message is deliverable.
     pub message: bool,

@@ -1,11 +1,12 @@
-//! Property tests for the network fabric: the delivery cursor against a
-//! model queue, rewind semantics, dedup, and tainted withdrawal.
+//! Randomized model tests for the network fabric: the delivery cursor
+//! against a model queue, rewind semantics, dedup, and tainted withdrawal.
+//! Driven by the in-repo seeded PRNG so runs are deterministic.
 
 use std::collections::BTreeSet;
 
 use ft_core::event::{MsgId, ProcessId};
 use ft_sim::net::Network;
-use proptest::prelude::*;
+use ft_sim::rng::SplitMix64;
 
 #[derive(Debug, Clone, Copy)]
 enum NetOp {
@@ -19,21 +20,24 @@ enum NetOp {
     Rewind,
 }
 
-fn op() -> impl Strategy<Value = NetOp> {
-    prop_oneof![
-        (0u8..40, proptest::bool::ANY).prop_map(|(s, t)| NetOp::Send(s, t)),
-        Just(NetOp::Recv),
-        Just(NetOp::Snapshot),
-        Just(NetOp::Rewind),
-    ]
+fn random_op(rng: &mut SplitMix64) -> NetOp {
+    match rng.below(4) {
+        0 => NetOp::Send(rng.below(40) as u8, rng.chance(0.5)),
+        1 => NetOp::Recv,
+        2 => NetOp::Snapshot,
+        _ => NetOp::Rewind,
+    }
 }
 
-proptest! {
-    /// The single-channel network agrees with a model: sends append unless
-    /// the sequence already exists; receives pop in order; rewind returns
-    /// the cursor to the snapshot.
-    #[test]
-    fn channel_matches_model(ops in proptest::collection::vec(op(), 0..120)) {
+/// The single-channel network agrees with a model: sends append unless
+/// the sequence already exists; receives pop in order; rewind returns
+/// the cursor to the snapshot.
+#[test]
+fn channel_matches_model() {
+    let mut seeds = SplitMix64::new(0x0C0A_57A1);
+    for _ in 0..192 {
+        let mut rng = SplitMix64::new(seeds.next_u64());
+        let n_ops = rng.below(120) as usize;
         let from = ProcessId(0);
         let to = ProcessId(1);
         let mut net = Network::new();
@@ -43,8 +47,8 @@ proptest! {
         let mut snap = net.consumed_counts(to);
         let mut snap_cursor = 0usize;
         let mut trace_msg = 0u64;
-        for o in ops {
-            match o {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 NetOp::Send(s, tainted) => {
                     trace_msg += 1;
                     net.send(
@@ -64,7 +68,7 @@ proptest! {
                 NetOp::Recv => {
                     let got = net.try_recv(to, 10).map(|(m, _)| m.seq as u8);
                     let want = model.get(cursor).copied();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                     if want.is_some() {
                         cursor += 1;
                     }
@@ -80,21 +84,35 @@ proptest! {
             }
         }
     }
+}
 
-    /// Withdrawing tainted messages beyond the committed floor removes
-    /// exactly the tainted-uncommitted suffix and cascades iff a removed
-    /// message had been consumed.
-    #[test]
-    fn withdrawal_matches_model(
-        msgs in proptest::collection::vec(proptest::bool::ANY, 1..30),
-        consumed in 0usize..30,
-        floor in 0u64..30,
-    ) {
+/// Withdrawing tainted messages beyond the committed floor removes
+/// exactly the tainted-uncommitted suffix and cascades iff a removed
+/// message had been consumed.
+#[test]
+fn withdrawal_matches_model() {
+    let mut seeds = SplitMix64::new(0x71D0);
+    for _ in 0..256 {
+        let mut rng = SplitMix64::new(seeds.next_u64());
+        let n_msgs = 1 + rng.below(29) as usize;
+        let msgs: Vec<bool> = (0..n_msgs).map(|_| rng.chance(0.5)).collect();
+        let consumed = rng.below(30) as usize;
+        let floor = rng.below(30);
+
         let from = ProcessId(0);
         let to = ProcessId(1);
         let mut net = Network::new();
         for (i, &tainted) in msgs.iter().enumerate() {
-            net.send(from, to, i as u64, vec![], Default::default(), tainted, 0, MsgId(i as u64));
+            net.send(
+                from,
+                to,
+                i as u64,
+                vec![],
+                Default::default(),
+                tainted,
+                0,
+                MsgId(i as u64),
+            );
         }
         let consumed = consumed.min(msgs.len());
         for _ in 0..consumed {
@@ -109,9 +127,9 @@ proptest! {
             .collect();
         let ch = net.channel(from, to).unwrap();
         let got: Vec<usize> = ch.messages().iter().map(|m| m.seq as usize).collect();
-        prop_assert_eq!(&got, &kept);
+        assert_eq!(&got, &kept);
         // Cascade iff a consumed message was removed.
         let removed_consumed = (0..consumed).any(|i| msgs[i] && i as u64 >= floor);
-        prop_assert_eq!(!cascade.is_empty(), removed_consumed);
+        assert_eq!(!cascade.is_empty(), removed_consumed);
     }
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, tests, lints, formatting. Run before every push.
+# Tier-1 gate: build, tests, lints, formatting, campaign smoke. Run before every push.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -7,5 +7,13 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+
+# Campaign smoke: the parallel runner must reproduce the serial rows
+# bitwise (the binary exits nonzero on any serial/parallel mismatch) and
+# emit the three machine-readable reports.
+cargo run --release -q -p ft-bench --bin campaign -- --quick --threads 4 --out .
+for f in BENCH_table1.json BENCH_table2.json BENCH_loss.json; do
+  [[ -s "$f" ]] || { echo "ci: missing $f" >&2; exit 1; }
+done
 
 echo "ci: all green"

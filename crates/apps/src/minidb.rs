@@ -270,7 +270,11 @@ impl MiniDb {
             }
             {
                 let m = sys.mem();
-                m.arena.write_pod(right + 8, (n - mid) as u64)?;
+                // Wrapping: a fault-forced split with `n < mid` corrupts
+                // the count on purpose, and the damage must be the same
+                // in debug and release builds (the campaign tests run the
+                // fault studies under debug overflow checks).
+                m.arena.write_pod(right + 8, n.wrapping_sub(mid) as u64)?;
                 m.arena.write_pod(leaf + 8, mid as u64)?;
             }
             let sep = Self::key_at(sys.mem(), right, 0)?;

@@ -8,46 +8,22 @@
 //! columns show the mechanism: drops ≈ loss × attempts, every timeout
 //! produces exactly one retransmission, and dup-drops track the fabric's
 //! duplication plus retransmissions whose ack was lost.
+//!
+//! (The `campaign` binary runs the same matrix — see
+//! `ft_bench::campaign::loss_matrix` — sharded across a worker pool and
+//! additionally writes `BENCH_loss.json`.)
 
-use ft_bench::loss::{loss_sweep, rows_for_table, TABLE_HEADER};
-use ft_bench::report::render_table;
-use ft_bench::scenarios;
-use ft_core::protocol::Protocol;
+use ft_bench::campaign::{loss_matrix, render_loss};
+use ft_bench::loss::loss_sweep;
 
 const RATES: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.10];
 
 fn main() {
-    println!("Degradation vs. loss rate (failure-free, Discount Checking medium)");
-    let mut table: Vec<Vec<String>> = Vec::new();
-
-    // The real-time game: latency-sensitive, CPVS (the paper's pick for
-    // interactive workloads).
-    let rows = loss_sweep(
-        &|| scenarios::xpilot(19, 40),
-        Protocol::Cpvs,
-        0xFAB1,
-        &RATES,
-    );
-    table.extend(rows_for_table("game (cpvs)", &rows));
-
-    // Barrier-based Barnes-Hut over DSM: message-dense, CBNDV-2PC (its
-    // protocol-space winner) — also exercises the 2PC timeout path.
-    let rows = loss_sweep(
-        &|| scenarios::treadmarks(19, 16),
-        Protocol::Cbndv2pc,
-        0xFAB2,
-        &RATES,
-    );
-    table.extend(rows_for_table("barnes_hut (cbndv-2pc)", &rows));
-
-    // The lock-based task farm: grant-chain traffic, CBNDV-2PC.
-    let rows = loss_sweep(
-        &|| scenarios::taskfarm(19, 3),
-        Protocol::Cbndv2pc,
-        0xFAB3,
-        &RATES,
-    );
-    table.extend(rows_for_table("taskfarm (cbndv-2pc)", &rows));
-
-    println!("{}", render_table(&TABLE_HEADER, &table));
+    let results: Vec<_> = loss_matrix()
+        .into_iter()
+        .map(|(label, protocol, fabric, build)| {
+            (label, loss_sweep(&build, protocol, fabric, &RATES))
+        })
+        .collect();
+    println!("{}", render_loss(&results));
 }

@@ -11,67 +11,18 @@
 //! off-by-one rarely do; both applications average roughly a third of
 //! crashes violating — which the §4.1 composition turns into ">90% of
 //! application faults defeat generic recovery".
+//!
+//! (The `campaign` binary runs the same engine sharded across a worker
+//! pool and additionally writes `BENCH_table1.json`.)
 
-use ft_bench::report::render_table;
+use ft_bench::campaign::render_table1;
 use ft_bench::table1::{run_table1, Table1App};
 
 fn main() {
     let target_crashes = 50;
     let max_trials = 600;
     for app in [Table1App::Nvi, Table1App::Postgres] {
-        println!(
-            "Table 1 — {} (CPVS, one fault per run, ~{target_crashes} crashes per type)",
-            app.name()
-        );
         let rows = run_table1(app, target_crashes, max_trials, 0xF417);
-        let mut total_crashes = 0u32;
-        let mut total_viol = 0u32;
-        let mut total_agree = 0u32;
-        let mut total_trials = 0u32;
-        let mut total_wrong = 0u32;
-        let table: Vec<Vec<String>> = rows
-            .iter()
-            .map(|r| {
-                total_crashes += r.crashes;
-                total_viol += r.violations;
-                total_agree += r.e2e_agree;
-                total_trials += r.trials;
-                total_wrong += r.wrong_output;
-                vec![
-                    r.fault.name().to_string(),
-                    r.crashes.to_string(),
-                    format!("{:.0}%", r.violation_pct()),
-                    format!("{}/{}", r.e2e_agree, r.crashes),
-                    r.wrong_output.to_string(),
-                ]
-            })
-            .collect();
-        println!(
-            "{}",
-            render_table(
-                &[
-                    "Fault Type",
-                    "crashes",
-                    "Lose-work violations",
-                    "end-to-end agreement",
-                    "wrong output"
-                ],
-                &table
-            )
-        );
-        let avg = if total_crashes > 0 {
-            total_viol as f64 / total_crashes as f64 * 100.0
-        } else {
-            0.0
-        };
-        println!(
-            "Average over all fault types: {avg:.0}% of crashes violate Lose-work; \
-             end-to-end check agreed on {total_agree}/{total_crashes} crashes."
-        );
-        println!(
-            "{:.0}% of trials completed with silently incorrect output (the paper \
-             observed 7-9% of runs not crashing but producing incorrect output).\n",
-            total_wrong as f64 / total_trials.max(1) as f64 * 100.0
-        );
+        println!("{}", render_table1(app, &rows));
     }
 }

@@ -7,52 +7,18 @@
 //! syscall rate. Paper shape to match: nvi fails ~15% of OS failures,
 //! postgres ~3% — nvi issues roughly an order of magnitude more syscalls
 //! per second.
+//!
+//! (The `campaign` binary runs the same engine sharded across a worker
+//! pool and additionally writes `BENCH_table2.json`.)
 
-use ft_bench::report::render_table;
+use ft_bench::campaign::render_table2;
 use ft_bench::table1::Table1App;
 use ft_bench::table2::run_table2;
 
 fn main() {
     let trials = 50;
     for app in [Table1App::Nvi, Table1App::Postgres] {
-        println!(
-            "Table 2 — {} (CPVS, {trials} kernel faults per type)",
-            app.name()
-        );
         let rows = run_table2(app, trials, 0x0542);
-        let mut total = 0u32;
-        let mut failed = 0u32;
-        let mut props = 0u32;
-        let table: Vec<Vec<String>> = rows
-            .iter()
-            .map(|r| {
-                total += r.crashes;
-                failed += r.failed_recoveries;
-                props += r.propagations;
-                vec![
-                    r.fault.name().to_string(),
-                    r.crashes.to_string(),
-                    format!("{:.0}%", r.failed_pct()),
-                    r.propagations.to_string(),
-                ]
-            })
-            .collect();
-        println!(
-            "{}",
-            render_table(
-                &[
-                    "Fault Type",
-                    "failures",
-                    "failed recoveries",
-                    "propagations"
-                ],
-                &table
-            )
-        );
-        println!(
-            "Average: {:.0}% failed recoveries; {:.0}% of failures manifested as propagation\n",
-            failed as f64 / total as f64 * 100.0,
-            props as f64 / total as f64 * 100.0
-        );
+        println!("{}", render_table2(app, &rows));
     }
 }

@@ -1,0 +1,164 @@
+//! The campaign binary: runs the full fault-injection matrix — Table 1
+//! and Table 2 on both applications plus the loss-rate degradation sweep
+//! — serially and then sharded across a worker pool, **asserts the two
+//! produced bitwise-identical rows**, prints the text tables, and writes
+//! the machine-readable `BENCH_table1.json` / `BENCH_table2.json` /
+//! `BENCH_loss.json` reports with wall-clock and speedup-vs-serial.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin campaign -- --threads 4
+//! ```
+//!
+//! Options:
+//!
+//! * `--threads N` — worker threads for the parallel run (default: the
+//!   machine's available parallelism);
+//! * `--quick` — small trial counts (the CI smoke configuration);
+//! * `--target-crashes C` / `--max-trials M` — Table 1 sizing;
+//! * `--table2-trials T` — Table 2 sizing;
+//! * `--out DIR` — where to write the `BENCH_*.json` files (default `.`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ft_bench::campaign::{
+    self, loss_json, run_campaign_par, run_campaign_serial, table1_json, table2_json,
+    CampaignConfig, WallClock,
+};
+use ft_bench::runner::default_threads;
+
+struct Args {
+    threads: usize,
+    cfg: CampaignConfig,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: default_threads(),
+        cfg: CampaignConfig::default(),
+        out: PathBuf::from("."),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--quick" => args.cfg = CampaignConfig::quick(),
+            "--target-crashes" => {
+                args.cfg.target_crashes = value("--target-crashes")?
+                    .parse()
+                    .map_err(|e| format!("--target-crashes: {e}"))?
+            }
+            "--max-trials" => {
+                args.cfg.max_trials = value("--max-trials")?
+                    .parse()
+                    .map_err(|e| format!("--max-trials: {e}"))?
+            }
+            "--table2-trials" => {
+                args.cfg.table2_trials = value("--table2-trials")?
+                    .parse()
+                    .map_err(|e| format!("--table2-trials: {e}"))?
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "campaign: Table 1 (target {} crashes, max {} trials), Table 2 ({} trials/type), \
+         loss sweep ({} rates) on nvi + postgres",
+        args.cfg.target_crashes,
+        args.cfg.max_trials,
+        args.cfg.table2_trials,
+        args.cfg.loss_rates.len()
+    );
+
+    // Serial reference run (also the speedup baseline).
+    let t0 = Instant::now();
+    let serial = run_campaign_serial(&args.cfg);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("serial reference: {serial_ms:.0} ms");
+
+    // Parallel run.
+    let t1 = Instant::now();
+    let parallel = run_campaign_par(&args.cfg, args.threads);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!("parallel ({} threads): {parallel_ms:.0} ms", args.threads);
+
+    // The determinism contract, checked on every invocation: the sharded
+    // run must reproduce the serial rows bit for bit.
+    if serial != parallel {
+        eprintln!(
+            "campaign: serial/parallel MISMATCH — the parallel runner diverged \
+             from the serial reference.\nserial:   {serial:?}\nparallel: {parallel:?}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("serial/parallel equivalence: OK (rows bitwise identical)\n");
+
+    for (app, rows) in &parallel.table1 {
+        println!("{}", campaign::render_table1(*app, rows));
+    }
+    for (app, rows) in &parallel.table2 {
+        println!("{}", campaign::render_table2(*app, rows));
+    }
+    println!("{}", campaign::render_loss(&parallel.loss));
+
+    let wall = WallClock {
+        serial_ms,
+        parallel_ms,
+        threads: args.threads,
+        hardware_threads: default_threads(),
+    };
+    println!(
+        "wall-clock: serial {serial_ms:.0} ms, parallel {parallel_ms:.0} ms on {} threads \
+         ({} hardware) — speedup {:.2}x",
+        wall.threads,
+        wall.hardware_threads,
+        wall.speedup()
+    );
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("campaign: creating {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    for (name, doc) in [
+        (
+            "BENCH_table1.json",
+            table1_json(&parallel, &args.cfg, &wall),
+        ),
+        (
+            "BENCH_table2.json",
+            table2_json(&parallel, &args.cfg, &wall),
+        ),
+        ("BENCH_loss.json", loss_json(&parallel, &args.cfg, &wall)),
+    ] {
+        let path = args.out.join(name);
+        if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
+            eprintln!("campaign: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

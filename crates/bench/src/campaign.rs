@@ -1,0 +1,451 @@
+//! The full campaign matrix — Table 1 and Table 2 on both applications
+//! plus the loss-rate degradation sweep — behind one serial and one
+//! parallel entry point, with JSON report builders for the
+//! `BENCH_*.json` perf-trajectory files.
+//!
+//! The serial entry point ([`run_campaign_serial`]) is the reference
+//! semantics; the parallel one ([`run_campaign_par`]) shards every
+//! independent trial across the worker pool and must produce a
+//! bitwise-identical [`CampaignResult`] for any thread count — the
+//! `campaign` binary asserts exactly that on every run, and the
+//! equivalence suite (`tests/campaign_equivalence.rs`) pins it at 1, 2, 4
+//! and 7 threads.
+
+use ft_core::protocol::Protocol;
+
+use crate::json::Json;
+use crate::loss::{self, LossRow};
+use crate::report::render_table;
+use crate::scenarios;
+use crate::table1::{self, Table1App, Table1Row};
+use crate::table2::{self, Table2Row};
+
+/// Campaign sizing and seeding. The defaults match the standalone bench
+/// binaries (`table1_app_faults`, `table2_os_faults`, `loss_sweep`).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Table 1: stop a fault type after this many crashes…
+    pub target_crashes: u32,
+    /// …or after this many trials, whichever first.
+    pub max_trials: u32,
+    /// Table 2: kernel faults per type per application.
+    pub table2_trials: u32,
+    /// Loss sweep: attempt-drop rates (fractions; first should be 0.0).
+    pub loss_rates: Vec<f64>,
+    /// Table 1 campaign seed.
+    pub table1_seed: u64,
+    /// Table 2 campaign seed.
+    pub table2_seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            target_crashes: 50,
+            max_trials: 600,
+            table2_trials: 50,
+            loss_rates: vec![0.0, 0.01, 0.02, 0.05, 0.10],
+            table1_seed: 0xF417,
+            table2_seed: 0x0542,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A small configuration for smoke runs (CI) and tests.
+    pub fn quick() -> Self {
+        CampaignConfig {
+            target_crashes: 5,
+            max_trials: 60,
+            table2_trials: 8,
+            loss_rates: vec![0.0, 0.02, 0.05],
+            ..CampaignConfig::default()
+        }
+    }
+
+    fn as_json(&self) -> Json {
+        Json::obj([
+            ("target_crashes", Json::from(self.target_crashes)),
+            ("max_trials", Json::from(self.max_trials)),
+            ("table2_trials", Json::from(self.table2_trials)),
+            (
+                "loss_rates",
+                Json::arr(self.loss_rates.iter().map(|&r| Json::from(r))),
+            ),
+            ("table1_seed", Json::from(self.table1_seed)),
+            ("table2_seed", Json::from(self.table2_seed)),
+        ])
+    }
+}
+
+/// One loss-sweep workload: label, protocol, fabric seed, builder.
+pub type LossWorkload = (&'static str, Protocol, u64, fn() -> scenarios::Built);
+
+/// The loss-sweep matrix. Shared by the serial and parallel paths (and
+/// the `loss_sweep` bench mirrors it).
+pub fn loss_matrix() -> Vec<LossWorkload> {
+    vec![
+        // The real-time game: latency-sensitive, CPVS (the paper's pick
+        // for interactive workloads).
+        ("game (cpvs)", Protocol::Cpvs, 0xFAB1, || {
+            scenarios::xpilot(19, 40)
+        }),
+        // Barrier-based Barnes-Hut over DSM: message-dense, CBNDV-2PC
+        // (its protocol-space winner) — also exercises 2PC timeouts.
+        ("barnes_hut (cbndv-2pc)", Protocol::Cbndv2pc, 0xFAB2, || {
+            scenarios::treadmarks(19, 16)
+        }),
+        // The lock-based task farm: grant-chain traffic, CBNDV-2PC.
+        ("taskfarm (cbndv-2pc)", Protocol::Cbndv2pc, 0xFAB3, || {
+            scenarios::taskfarm(19, 3)
+        }),
+    ]
+}
+
+/// Everything the campaign matrix produces. `PartialEq` is the
+/// serial/parallel equivalence check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Table 1 rows per application.
+    pub table1: Vec<(Table1App, Vec<Table1Row>)>,
+    /// Table 2 rows per application.
+    pub table2: Vec<(Table1App, Vec<Table2Row>)>,
+    /// Loss-sweep rows per workload.
+    pub loss: Vec<(&'static str, Vec<LossRow>)>,
+}
+
+const APPS: [Table1App; 2] = [Table1App::Nvi, Table1App::Postgres];
+
+/// Runs the full matrix serially — the reference semantics.
+pub fn run_campaign_serial(cfg: &CampaignConfig) -> CampaignResult {
+    CampaignResult {
+        table1: APPS
+            .iter()
+            .map(|&app| {
+                let rows =
+                    table1::run_table1(app, cfg.target_crashes, cfg.max_trials, cfg.table1_seed);
+                (app, rows)
+            })
+            .collect(),
+        table2: APPS
+            .iter()
+            .map(|&app| {
+                (
+                    app,
+                    table2::run_table2(app, cfg.table2_trials, cfg.table2_seed),
+                )
+            })
+            .collect(),
+        loss: loss_matrix()
+            .into_iter()
+            .map(|(label, protocol, fabric, build)| {
+                (
+                    label,
+                    loss::loss_sweep(&build, protocol, fabric, &cfg.loss_rates),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Runs the full matrix with every independent trial sharded across
+/// `threads` workers. Bitwise identical to [`run_campaign_serial`] for
+/// any thread count.
+pub fn run_campaign_par(cfg: &CampaignConfig, threads: usize) -> CampaignResult {
+    CampaignResult {
+        table1: APPS
+            .iter()
+            .map(|&app| {
+                let rows = table1::run_table1_par(
+                    app,
+                    cfg.target_crashes,
+                    cfg.max_trials,
+                    cfg.table1_seed,
+                    threads,
+                );
+                (app, rows)
+            })
+            .collect(),
+        table2: APPS
+            .iter()
+            .map(|&app| {
+                let rows = table2::run_table2_par(app, cfg.table2_trials, cfg.table2_seed, threads);
+                (app, rows)
+            })
+            .collect(),
+        loss: loss_matrix()
+            .into_iter()
+            .map(|(label, protocol, fabric, build)| {
+                let rows = loss::loss_sweep_par(&build, protocol, fabric, &cfg.loss_rates, threads);
+                (label, rows)
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Text rendering (shared with the standalone bench binaries).
+
+/// Renders one application's Table 1 with its summary lines.
+pub fn render_table1(app: Table1App, rows: &[Table1Row]) -> String {
+    let mut total_crashes = 0u32;
+    let mut total_viol = 0u32;
+    let mut total_agree = 0u32;
+    let mut total_trials = 0u32;
+    let mut total_wrong = 0u32;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            total_crashes += r.crashes;
+            total_viol += r.violations;
+            total_agree += r.e2e_agree;
+            total_trials += r.trials;
+            total_wrong += r.wrong_output;
+            vec![
+                r.fault.name().to_string(),
+                r.crashes.to_string(),
+                format!("{:.0}%", r.violation_pct()),
+                format!("{}/{}", r.e2e_agree, r.crashes),
+                r.wrong_output.to_string(),
+            ]
+        })
+        .collect();
+    let avg = if total_crashes > 0 {
+        total_viol as f64 / total_crashes as f64 * 100.0
+    } else {
+        0.0
+    };
+    format!(
+        "Table 1 — {} (CPVS, one fault per run)\n{}\
+         Average over all fault types: {avg:.0}% of crashes violate Lose-work; \
+         end-to-end check agreed on {total_agree}/{total_crashes} crashes.\n\
+         {:.0}% of trials completed with silently incorrect output (the paper \
+         observed 7-9% of runs not crashing but producing incorrect output).\n",
+        app.name(),
+        render_table(
+            &[
+                "Fault Type",
+                "crashes",
+                "Lose-work violations",
+                "end-to-end agreement",
+                "wrong output"
+            ],
+            &table
+        ),
+        total_wrong as f64 / total_trials.max(1) as f64 * 100.0
+    )
+}
+
+/// Renders one application's Table 2 with its summary line.
+pub fn render_table2(app: Table1App, rows: &[Table2Row]) -> String {
+    let mut total = 0u32;
+    let mut failed = 0u32;
+    let mut props = 0u32;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            total += r.crashes;
+            failed += r.failed_recoveries;
+            props += r.propagations;
+            vec![
+                r.fault.name().to_string(),
+                r.crashes.to_string(),
+                format!("{:.0}%", r.failed_pct()),
+                r.propagations.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 2 — {} (CPVS kernel faults)\n{}\
+         Average: {:.0}% failed recoveries; {:.0}% of failures manifested as propagation\n",
+        app.name(),
+        render_table(
+            &[
+                "Fault Type",
+                "failures",
+                "failed recoveries",
+                "propagations"
+            ],
+            &table
+        ),
+        failed as f64 / total.max(1) as f64 * 100.0,
+        props as f64 / total.max(1) as f64 * 100.0
+    )
+}
+
+/// Renders the loss sweep as one combined table.
+pub fn render_loss(results: &[(&'static str, Vec<LossRow>)]) -> String {
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for (label, rows) in results {
+        table.extend(loss::rows_for_table(label, rows));
+    }
+    format!(
+        "Degradation vs. loss rate (failure-free, Discount Checking medium)\n{}",
+        render_table(&loss::TABLE_HEADER, &table)
+    )
+}
+
+// ---------------------------------------------------------------------
+// JSON reports.
+
+/// Wall-clock accounting for a campaign run, recorded in every report.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    /// Serial reference wall time, milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall time, milliseconds.
+    pub parallel_ms: f64,
+    /// Worker threads the parallel run used.
+    pub threads: usize,
+    /// Hardware threads the machine reports.
+    pub hardware_threads: usize,
+}
+
+impl WallClock {
+    /// Serial time over parallel time.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            0.0
+        }
+    }
+
+    fn as_json(&self) -> Json {
+        Json::obj([
+            ("serial_ms", Json::from(self.serial_ms)),
+            ("parallel_ms", Json::from(self.parallel_ms)),
+            ("threads", Json::from(self.threads)),
+            ("hardware_threads", Json::from(self.hardware_threads)),
+            ("speedup_vs_serial", Json::from(self.speedup())),
+        ])
+    }
+}
+
+fn report_header(report: &str, cfg: &CampaignConfig, wall: &WallClock) -> Vec<(String, Json)> {
+    vec![
+        ("report".to_string(), Json::from(report)),
+        ("config".to_string(), cfg.as_json()),
+        ("wall".to_string(), wall.as_json()),
+    ]
+}
+
+/// The `BENCH_table1.json` document.
+pub fn table1_json(result: &CampaignResult, cfg: &CampaignConfig, wall: &WallClock) -> Json {
+    let mut doc = report_header("table1", cfg, wall);
+    let apps = result.table1.iter().map(|(app, rows)| {
+        Json::obj([
+            ("app", Json::from(app.name())),
+            (
+                "rows",
+                Json::arr(rows.iter().map(|r| {
+                    Json::obj([
+                        ("fault", Json::from(r.fault.name())),
+                        ("trials", Json::from(r.trials)),
+                        ("crashes", Json::from(r.crashes)),
+                        ("violations", Json::from(r.violations)),
+                        ("violation_pct", Json::from(r.violation_pct())),
+                        ("wrong_output", Json::from(r.wrong_output)),
+                        ("e2e_agree", Json::from(r.e2e_agree)),
+                    ])
+                })),
+            ),
+        ])
+    });
+    doc.push(("apps".to_string(), Json::arr(apps)));
+    Json::Obj(doc)
+}
+
+/// The `BENCH_table2.json` document.
+pub fn table2_json(result: &CampaignResult, cfg: &CampaignConfig, wall: &WallClock) -> Json {
+    let mut doc = report_header("table2", cfg, wall);
+    let apps = result.table2.iter().map(|(app, rows)| {
+        Json::obj([
+            ("app", Json::from(app.name())),
+            (
+                "rows",
+                Json::arr(rows.iter().map(|r| {
+                    Json::obj([
+                        ("fault", Json::from(r.fault.name())),
+                        ("failures", Json::from(r.crashes)),
+                        ("failed_recoveries", Json::from(r.failed_recoveries)),
+                        ("failed_pct", Json::from(r.failed_pct())),
+                        ("propagations", Json::from(r.propagations)),
+                    ])
+                })),
+            ),
+        ])
+    });
+    doc.push(("apps".to_string(), Json::arr(apps)));
+    Json::Obj(doc)
+}
+
+/// The `BENCH_loss.json` document.
+pub fn loss_json(result: &CampaignResult, cfg: &CampaignConfig, wall: &WallClock) -> Json {
+    let mut doc = report_header("loss", cfg, wall);
+    let sweeps = result.loss.iter().map(|(label, rows)| {
+        Json::obj([
+            ("workload", Json::from(*label)),
+            (
+                "rows",
+                Json::arr(rows.iter().map(|r| {
+                    Json::obj([
+                        ("loss_pct", Json::from(r.loss_pct)),
+                        ("runtime_ns", Json::from(r.runtime)),
+                        ("overhead_pct", Json::from(r.overhead_pct)),
+                        (
+                            "net",
+                            Json::obj([
+                                ("drops", Json::from(r.net.drops)),
+                                ("partition_drops", Json::from(r.net.partition_drops)),
+                                ("dup_deliveries", Json::from(r.net.dup_deliveries)),
+                                ("dup_drops", Json::from(r.net.dup_drops)),
+                                ("retransmissions", Json::from(r.net.retransmissions)),
+                                ("timeouts", Json::from(r.net.timeouts)),
+                                ("ack_drops", Json::from(r.net.ack_drops)),
+                                ("exhausted", Json::from(r.net.exhausted)),
+                            ]),
+                        ),
+                        ("twopc_timeouts", Json::from(r.twopc_timeouts)),
+                    ])
+                })),
+            ),
+        ])
+    });
+    doc.push(("sweeps".to_string(), Json::arr(sweeps)));
+    Json::Obj(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_reports_carry_all_sections() {
+        let cfg = CampaignConfig {
+            target_crashes: 1,
+            max_trials: 2,
+            table2_trials: 1,
+            loss_rates: vec![0.0],
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign_serial(&cfg);
+        let wall = WallClock {
+            serial_ms: 10.0,
+            parallel_ms: 5.0,
+            threads: 2,
+            hardware_threads: 2,
+        };
+        assert_eq!(wall.speedup(), 2.0);
+        for (doc, key) in [
+            (table1_json(&result, &cfg, &wall), "apps"),
+            (table2_json(&result, &cfg, &wall), "apps"),
+            (loss_json(&result, &cfg, &wall), "sweeps"),
+        ] {
+            let text = doc.render_pretty();
+            assert!(text.contains("\"config\""), "{text}");
+            assert!(text.contains("\"speedup_vs_serial\""), "{text}");
+            assert!(text.contains(&format!("\"{key}\"")), "{text}");
+        }
+    }
+}

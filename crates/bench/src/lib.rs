@@ -10,17 +10,30 @@
 //!   criterion (§4.1);
 //! * [`table2`] — operating-system fault injection (§4.2);
 //! * [`loss`] — loss-rate degradation sweeps over the unreliable fabric;
+//! * [`runner`] — the parallel deterministic campaign runner (scoped
+//!   worker pool, split seed streams, index-ordered merge);
+//! * [`campaign`] — the full campaign matrix behind one serial and one
+//!   parallel entry point, plus the `BENCH_*.json` report builders;
+//! * [`json`] — the hand-rolled JSON emitter the reports use;
+//! * [`fingerprint`] — stable (FNV-1a) run fingerprints for the golden
+//!   trace-hash regression gate;
 //! * [`report`] — plain-text table rendering.
 //!
-//! Run `cargo bench` to regenerate everything; see `benches/` for the
-//! per-artifact binaries and EXPERIMENTS.md for recorded results.
+//! Run `cargo bench` to regenerate everything, or
+//! `cargo run --release -p ft-bench --bin campaign -- --threads N` for
+//! the parallel matrix with machine-readable reports; see `benches/` for
+//! the per-artifact binaries and EXPERIMENTS.md for recorded results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod fig8;
+pub mod fingerprint;
+pub mod json;
 pub mod loss;
 pub mod report;
+pub mod runner;
 pub mod scenarios;
 pub mod table1;
 pub mod table2;

@@ -8,6 +8,11 @@
 //! baseline the overhead column is measured against. Every row also
 //! validates Save-work — the transport must be transparent to the
 //! protocol's guarantees, not just to completion.
+//!
+//! Each rate's run is independent ([`run_rate`] is pure in its inputs);
+//! only the overhead column couples rows, and it is computed in a serial
+//! fold after the runs, so [`loss_sweep_par`] shards the runs across
+//! workers and still produces rows bitwise identical to [`loss_sweep`].
 
 use ft_core::protocol::Protocol;
 use ft_core::savework::check_save_work;
@@ -18,10 +23,11 @@ use ft_sim::net::NetStats;
 use ft_sim::SimTime;
 
 use crate::fig8::overhead_pct;
+use crate::runner::run_indexed;
 use crate::scenarios::Built;
 
 /// One point of the degradation curve.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LossRow {
     /// Attempt drop probability, in percent.
     pub loss_pct: f64,
@@ -35,43 +41,82 @@ pub struct LossRow {
     pub twopc_timeouts: u64,
 }
 
+/// Runs one rate of the sweep: a full workload run over the lossy fabric,
+/// with the Save-work validation. Pure in `(build, protocol, fabric_seed,
+/// rate)` and self-contained, so any worker can run any rate.
+pub fn run_rate(
+    build: &(dyn Fn() -> Built + Sync),
+    protocol: Protocol,
+    fabric_seed: u64,
+    rate: f64,
+) -> (SimTime, NetStats, u64) {
+    let (mut sim, apps) = build();
+    NetFaultSpec::lossy(fabric_seed, rate).install(&mut sim);
+    let report = DcHarness::new(sim, DcConfig::discount_checking(protocol), apps).run();
+    assert!(
+        report.all_done,
+        "{protocol} at {:.0}% loss must complete",
+        rate * 100.0
+    );
+    assert!(
+        check_save_work(&report.trace).is_ok(),
+        "{protocol} at {:.0}% loss violated Save-work: {:?}",
+        rate * 100.0,
+        check_save_work(&report.trace)
+    );
+    (report.runtime, report.net, report.totals.twopc_timeouts)
+}
+
+/// Folds per-rate run results into curve rows; the first row's runtime is
+/// the overhead baseline.
+fn fold_rows(rates: &[f64], runs: Vec<(SimTime, NetStats, u64)>) -> Vec<LossRow> {
+    let mut base_runtime = None;
+    rates
+        .iter()
+        .zip(runs)
+        .map(|(&rate, (runtime, net, twopc_timeouts))| {
+            let base = *base_runtime.get_or_insert(runtime);
+            LossRow {
+                loss_pct: rate * 100.0,
+                runtime,
+                overhead_pct: overhead_pct(base, runtime),
+                net,
+                twopc_timeouts,
+            }
+        })
+        .collect()
+}
+
 /// Sweeps `rates` (fractions, e.g. `0.05` for 5%) over one workload under
-/// one protocol. The first rate should be `0.0` so the overhead column has
-/// its baseline; if it is not, the first row still serves as the baseline.
+/// one protocol — the serial reference. The first rate should be `0.0` so
+/// the overhead column has its baseline; if it is not, the first row
+/// still serves as the baseline.
 pub fn loss_sweep(
-    build: &dyn Fn() -> Built,
+    build: &(dyn Fn() -> Built + Sync),
     protocol: Protocol,
     fabric_seed: u64,
     rates: &[f64],
 ) -> Vec<LossRow> {
-    let mut base_runtime = None;
-    rates
+    let runs = rates
         .iter()
-        .map(|&rate| {
-            let (mut sim, apps) = build();
-            NetFaultSpec::lossy(fabric_seed, rate).install(&mut sim);
-            let report = DcHarness::new(sim, DcConfig::discount_checking(protocol), apps).run();
-            assert!(
-                report.all_done,
-                "{protocol} at {:.0}% loss must complete",
-                rate * 100.0
-            );
-            assert!(
-                check_save_work(&report.trace).is_ok(),
-                "{protocol} at {:.0}% loss violated Save-work: {:?}",
-                rate * 100.0,
-                check_save_work(&report.trace)
-            );
-            let base = *base_runtime.get_or_insert(report.runtime);
-            LossRow {
-                loss_pct: rate * 100.0,
-                runtime: report.runtime,
-                overhead_pct: overhead_pct(base, report.runtime),
-                net: report.net,
-                twopc_timeouts: report.totals.twopc_timeouts,
-            }
-        })
-        .collect()
+        .map(|&rate| run_rate(build, protocol, fabric_seed, rate))
+        .collect();
+    fold_rows(rates, runs)
+}
+
+/// As [`loss_sweep`], with the per-rate runs sharded across `threads`
+/// workers; rows are bitwise identical for every thread count.
+pub fn loss_sweep_par(
+    build: &(dyn Fn() -> Built + Sync),
+    protocol: Protocol,
+    fabric_seed: u64,
+    rates: &[f64],
+    threads: usize,
+) -> Vec<LossRow> {
+    let runs = run_indexed(rates.len(), threads, |i| {
+        run_rate(build, protocol, fabric_seed, rates[i])
+    });
+    fold_rows(rates, runs)
 }
 
 /// Renders a sweep as table rows for `report::render_table`.
@@ -124,6 +169,14 @@ mod tests {
             lossy.runtime >= clean.runtime,
             "retransmission delay cannot speed the run up"
         );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let build = || scenarios::taskfarm(11, 3);
+        let serial = loss_sweep(&build, Protocol::Cbndv2pc, 0xFAB, &[0.0, 0.02, 0.05]);
+        let par = loss_sweep_par(&build, Protocol::Cbndv2pc, 0xFAB, &[0.0, 0.02, 0.05], 3);
+        assert_eq!(serial, par);
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! The parallel deterministic campaign runner.
+//!
+//! The paper's empirical tables come from thousands of *independent*
+//! fault-injection trials; this module shards them across a std-only
+//! scoped-thread worker pool so campaigns scale with the hardware while
+//! staying **bitwise identical to the serial run for any thread count**.
+//!
+//! Determinism rests on two pillars:
+//!
+//! 1. **Per-trial seeds are a function of the trial index**, derived up
+//!    front by splitting a SplitMix64 stream ([`SeedStream`], built on
+//!    `SplitMix64::nth`'s O(1) jump). No thread ever draws from a shared
+//!    generator, so scheduling cannot perturb a trial's inputs.
+//! 2. **Merging is serial and index-ordered** ([`run_indexed`] returns
+//!    results in trial order regardless of which worker finished first),
+//!    so order-sensitive folds — Table 1's "stop after `target_crashes`
+//!    crashes" early exit above all — see exactly the serial sequence.
+//!    Early exit becomes a deterministic trial-index cutoff, not a
+//!    first-come-first-served race (see [`run_cutoff`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ft_sim::rng::SplitMix64;
+
+/// A per-trial seed stream: the `t`-th trial's seed is the `t`-th draw of
+/// a SplitMix64 stream, computed by jump so any worker can derive any
+/// trial's seed independently.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedStream {
+    base: SplitMix64,
+}
+
+impl SeedStream {
+    /// Creates the stream for a campaign-level seed.
+    pub fn new(seed0: u64) -> Self {
+        SeedStream {
+            base: SplitMix64::new(seed0),
+        }
+    }
+
+    /// The seed for trial `t`.
+    pub fn seed(&self, t: u64) -> u64 {
+        self.base.nth(t)
+    }
+}
+
+/// The worker count to use when the caller does not specify one: the
+/// machine's available parallelism, clamped to at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Computes `f(0), f(1), …, f(n-1)` across `threads` scoped workers and
+/// returns the results **in index order** (the order is a function of `n`
+/// alone, never of scheduling). Work is distributed by an atomic cursor,
+/// so an expensive trial does not stall a whole stripe.
+///
+/// With `threads <= 1` the pool is bypassed entirely and the closure runs
+/// on the caller's thread — the serial reference path and the parallel
+/// path share `f` verbatim.
+pub fn run_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs at most `max_trials` independent trials, folding them **in trial
+/// order** into `fold`, and stops at the first trial index where `fold`
+/// returns `false` ("target reached — do not consume this trial").
+///
+/// This reproduces the serial early-exit loop
+///
+/// ```text
+/// for t in 0..max_trials {
+///     if done { break; }
+///     consume(trial(t));
+/// }
+/// ```
+///
+/// exactly: the cutoff is a deterministic trial index, so the fold state
+/// is bitwise identical for every `threads` value. Parallel workers
+/// speculate at most one wave (`threads × 4` trials) beyond the cutoff;
+/// speculated results past it are discarded, mirroring the serial loop
+/// never having run them.
+pub fn run_cutoff<R, F, G>(max_trials: usize, threads: usize, trial: F, mut fold: G)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    G: FnMut(usize, R) -> bool,
+{
+    let wave = threads.max(1) * 4;
+    let mut next = 0usize;
+    while next < max_trials {
+        let end = (next + wave).min(max_trials);
+        let results = run_indexed(end - next, threads, |i| trial(next + i));
+        for (off, r) in results.into_iter().enumerate() {
+            if !fold(next + off, r) {
+                return;
+            }
+        }
+        next = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_stream_matches_sequential_splitmix_draws() {
+        let stream = SeedStream::new(42);
+        let mut rng = SplitMix64::new(42);
+        for t in 0..50 {
+            assert_eq!(stream.seed(t), rng.next_u64());
+        }
+    }
+
+    #[test]
+    fn run_indexed_orders_results_for_every_thread_count() {
+        let serial: Vec<usize> = run_indexed(97, 1, |i| i * i);
+        for threads in [2, 3, 4, 7, 16] {
+            assert_eq!(run_indexed(97, threads, |i| i * i), serial, "{threads}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_single() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn cutoff_is_a_deterministic_trial_index() {
+        // Stop once five "crashes" (multiples of 3) have been consumed;
+        // the consumed prefix must be identical for every thread count.
+        let consumed_with = |threads: usize| {
+            let mut seen = Vec::new();
+            let mut crashes = 0;
+            run_cutoff(
+                1000,
+                threads,
+                |i| i % 3 == 0,
+                |i, crashed| {
+                    if crashes >= 5 {
+                        return false;
+                    }
+                    seen.push(i);
+                    if crashed {
+                        crashes += 1;
+                    }
+                    true
+                },
+            );
+            seen
+        };
+        let serial = consumed_with(1);
+        assert_eq!(*serial.last().unwrap(), 12, "the 5th multiple of 3");
+        for threads in [2, 4, 7] {
+            assert_eq!(consumed_with(threads), serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn cutoff_without_target_consumes_everything() {
+        let mut n = 0;
+        run_cutoff(
+            25,
+            3,
+            |i| i,
+            |_, _| {
+                n += 1;
+                true
+            },
+        );
+        assert_eq!(n, 25);
+    }
+}

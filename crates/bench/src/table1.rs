@@ -9,6 +9,16 @@
 //! recovers the process with the (one-shot) fault no longer activating and
 //! verifies that recovery succeeds if and only if no commit followed the
 //! activation.
+//!
+//! The campaign is organized for the parallel runner: [`run_trial`] is a
+//! pure function of `(app, fault, trial index, seed stream)` — it builds
+//! its own simulator and applications, so any worker thread can run any
+//! trial — and the drivers merely fold outcomes **in trial order**. The
+//! serial driver ([`run_fault_type`]) is a plain loop kept as the
+//! reference semantics; the parallel driver ([`run_fault_type_par`])
+//! shards trials over `ft_bench::runner` and is bitwise identical to it
+//! for every thread count, including the "stop after `target_crashes`"
+//! early exit (a deterministic trial-index cutoff).
 
 use ft_core::losework::check_commit_after_activation;
 use ft_core::protocol::Protocol;
@@ -17,6 +27,7 @@ use ft_dc::state::DcConfig;
 use ft_faults::{FaultPlan, FaultType};
 use ft_sim::harness::run_plain_on;
 
+use crate::runner::{run_cutoff, SeedStream};
 use crate::scenarios::{self, Built};
 
 /// Which §4 application to inject into.
@@ -54,7 +65,7 @@ impl Table1App {
 }
 
 /// One fault type's campaign results.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Table1Row {
     /// The fault type.
     pub fault: FaultType,
@@ -74,6 +85,18 @@ pub struct Table1Row {
 }
 
 impl Table1Row {
+    /// An empty row for `fault`.
+    pub fn empty(fault: FaultType) -> Table1Row {
+        Table1Row {
+            fault,
+            trials: 0,
+            crashes: 0,
+            violations: 0,
+            wrong_output: 0,
+            e2e_agree: 0,
+        }
+    }
+
     /// The Table 1 cell: percent of crashes that violate Lose-work.
     pub fn violation_pct(&self) -> f64 {
         if self.crashes == 0 {
@@ -82,10 +105,107 @@ impl Table1Row {
             self.violations as f64 / self.crashes as f64 * 100.0
         }
     }
+
+    /// Folds one trial's outcome into the row (order-sensitive only via
+    /// the caller's early-exit check; the counts themselves commute).
+    fn absorb(&mut self, o: TrialOutcome) {
+        self.trials += 1;
+        if o.crashed {
+            self.crashes += 1;
+            if o.violated {
+                self.violations += 1;
+            }
+            if o.e2e_agree {
+                self.e2e_agree += 1;
+            }
+        } else if o.wrong_output {
+            self.wrong_output += 1;
+        }
+    }
+}
+
+/// What one trial contributes to its [`Table1Row`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// The run crashed with the fault activated (a counted crash).
+    crashed: bool,
+    /// A commit executed causally after the activation.
+    violated: bool,
+    /// The end-to-end recovery check agreed with the criterion.
+    e2e_agree: bool,
+    /// The run completed but with output differing from the fault-free
+    /// reference.
+    wrong_output: bool,
+}
+
+/// Runs trial `t` of the `(app, fault)` campaign: self-contained, pure in
+/// `(app, fault, t, seeds)`, and therefore safe to run on any worker.
+pub fn run_trial(app: Table1App, fault: FaultType, t: u32, seeds: SeedStream) -> TrialOutcome {
+    let mut out = TrialOutcome {
+        crashed: false,
+        violated: false,
+        e2e_agree: false,
+        wrong_output: false,
+    };
+    let seed = seeds.seed(t as u64);
+    let plan = FaultPlan {
+        fault,
+        site: app.site(fault),
+        // Sweep the activation point across the run.
+        trigger_visit: 3 + (t % 37) * 5,
+        id: 1,
+        // One-shot: the buggy code's damage happens at one visit, and
+        // the physical visit counter suppresses re-activation during
+        // recovery re-execution (the §4.1 end-to-end methodology).
+        sticky: false,
+    };
+    // Phase A: run under CPVS with no recovery; observe the crash.
+    let (sim, apps) = app.build(seed, Some(plan));
+    let mut cfg = DcConfig::discount_checking(Protocol::Cpvs);
+    cfg.max_recoveries = 0;
+    let report = DcHarness::new(sim, cfg, apps).run();
+    let crashed = report.trace.iter().any(|e| e.kind.is_crash());
+    let activated = report
+        .trace
+        .iter()
+        .any(|e| matches!(e.kind, ft_core::event::EventKind::FaultActivation { .. }));
+    if !crashed {
+        if activated && report.all_done {
+            // Did the fault silently corrupt the output?
+            let (sim, mut ref_apps) = app.build(seed, None);
+            let reference = run_plain_on(sim, &mut ref_apps);
+            if report.visible_tokens()
+                != reference
+                    .visibles
+                    .iter()
+                    .map(|&(_, _, t)| t)
+                    .collect::<Vec<_>>()
+            {
+                out.wrong_output = true;
+            }
+        }
+        return out;
+    }
+    if !activated {
+        // A crash without an activation cannot happen with one-shot
+        // plans; treat defensively as a discarded trial.
+        return out;
+    }
+    out.crashed = true;
+    out.violated = check_commit_after_activation(&report.trace).is_violated();
+    // Phase B: the end-to-end check — recover with the fault
+    // suppressed (one-shot plans do not re-fire on replay) and test
+    // completion.
+    let (sim, apps) = app.build(seed, Some(plan));
+    let cfg = DcConfig::discount_checking(Protocol::Cpvs);
+    let recovered = DcHarness::new(sim, cfg, apps).run();
+    let recovery_succeeded = recovered.all_done;
+    out.e2e_agree = recovery_succeeded != out.violated;
+    out
 }
 
 /// Runs the campaign for one fault type until `target_crashes` crashes (or
-/// `max_trials`).
+/// `max_trials`) — the serial reference loop.
 pub fn run_fault_type(
     app: Table1App,
     fault: FaultType,
@@ -93,84 +213,53 @@ pub fn run_fault_type(
     max_trials: u32,
     seed0: u64,
 ) -> Table1Row {
-    let mut row = Table1Row {
-        fault,
-        trials: 0,
-        crashes: 0,
-        violations: 0,
-        wrong_output: 0,
-        e2e_agree: 0,
-    };
-    // The fault-free reference output, per seed (seeds vary per trial).
+    let seeds = SeedStream::new(seed0);
+    let mut row = Table1Row::empty(fault);
     for t in 0..max_trials {
         if row.crashes >= target_crashes {
             break;
         }
-        row.trials += 1;
-        let seed = seed0 + t as u64 * 1297;
-        let plan = FaultPlan {
-            fault,
-            site: app.site(fault),
-            // Sweep the activation point across the run.
-            trigger_visit: 3 + (t % 37) * 5,
-            id: 1,
-            // One-shot: the buggy code's damage happens at one visit, and
-            // the physical visit counter suppresses re-activation during
-            // recovery re-execution (the §4.1 end-to-end methodology).
-            sticky: false,
-        };
-        // Phase A: run under CPVS with no recovery; observe the crash.
-        let (sim, apps) = app.build(seed, Some(plan));
-        let mut cfg = DcConfig::discount_checking(Protocol::Cpvs);
-        cfg.max_recoveries = 0;
-        let report = DcHarness::new(sim, cfg, apps).run();
-        let crashed = report.trace.iter().any(|e| e.kind.is_crash());
-        let activated = report
-            .trace
-            .iter()
-            .any(|e| matches!(e.kind, ft_core::event::EventKind::FaultActivation { .. }));
-        if !crashed {
-            if activated && report.all_done {
-                // Did the fault silently corrupt the output?
-                let (sim, mut ref_apps) = app.build(seed, None);
-                let reference = run_plain_on(sim, &mut ref_apps);
-                if report.visible_tokens()
-                    != reference
-                        .visibles
-                        .iter()
-                        .map(|&(_, _, t)| t)
-                        .collect::<Vec<_>>()
-                {
-                    row.wrong_output += 1;
-                }
-            }
-            continue;
-        }
-        if !activated {
-            // A crash without an activation cannot happen with one-shot
-            // plans; treat defensively as a discarded trial.
-            continue;
-        }
-        row.crashes += 1;
-        let violated = check_commit_after_activation(&report.trace).is_violated();
-        if violated {
-            row.violations += 1;
-        }
-        // Phase B: the end-to-end check — recover with the fault
-        // suppressed (one-shot plans do not re-fire on replay) and test
-        // completion.
-        let (sim, apps) = app.build(seed, Some(plan));
-        let cfg = DcConfig::discount_checking(Protocol::Cpvs);
-        let recovered = DcHarness::new(sim, cfg, apps).run();
-        let recovery_succeeded = recovered.all_done;
-        if recovery_succeeded != violated {
-            row.e2e_agree += 1;
-        }
+        row.absorb(run_trial(app, fault, t, seeds));
     }
     row
 }
 
-/// Runs the full Table 1 campaign for one application.
+/// As [`run_fault_type`], sharded across `threads` workers. Bitwise
+/// identical to the serial row for every thread count: per-trial seeds
+/// come from the same split stream and outcomes fold in trial order with
+/// the same deterministic early-exit cutoff.
+pub fn run_fault_type_par(
+    app: Table1App,
+    fault: FaultType,
+    target_crashes: u32,
+    max_trials: u32,
+    seed0: u64,
+    threads: usize,
+) -> Table1Row {
+    let seeds = SeedStream::new(seed0);
+    let mut row = Table1Row::empty(fault);
+    run_cutoff(
+        max_trials as usize,
+        threads,
+        |t| run_trial(app, fault, t as u32, seeds),
+        |_, outcome| {
+            if row.crashes >= target_crashes {
+                return false;
+            }
+            row.absorb(outcome);
+            true
+        },
+    );
+    row
+}
+
+/// The per-fault-type campaign seed (each type gets its own split of the
+/// campaign seed, shared by the serial and parallel drivers).
+fn fault_seed(seed0: u64, fault: FaultType) -> u64 {
+    seed0 ^ (fault as u64) << 8
+}
+
+/// Runs the full Table 1 campaign for one application (serial).
 pub fn run_table1(
     app: Table1App,
     target_crashes: u32,
@@ -179,7 +268,31 @@ pub fn run_table1(
 ) -> Vec<Table1Row> {
     FaultType::ALL
         .iter()
-        .map(|&f| run_fault_type(app, f, target_crashes, max_trials, seed0 ^ (f as u64) << 8))
+        .map(|&f| run_fault_type(app, f, target_crashes, max_trials, fault_seed(seed0, f)))
+        .collect()
+}
+
+/// Runs the full Table 1 campaign for one application on `threads`
+/// workers; rows are bitwise identical to [`run_table1`]'s.
+pub fn run_table1_par(
+    app: Table1App,
+    target_crashes: u32,
+    max_trials: u32,
+    seed0: u64,
+    threads: usize,
+) -> Vec<Table1Row> {
+    FaultType::ALL
+        .iter()
+        .map(|&f| {
+            run_fault_type_par(
+                app,
+                f,
+                target_crashes,
+                max_trials,
+                fault_seed(seed0, f),
+                threads,
+            )
+        })
         .collect()
 }
 
@@ -213,5 +326,12 @@ mod tests {
                 row.crashes
             );
         }
+    }
+
+    #[test]
+    fn parallel_row_matches_serial_row() {
+        let serial = run_fault_type(Table1App::Nvi, FaultType::DeleteBranch, 4, 25, 909);
+        let par = run_fault_type_par(Table1App::Nvi, FaultType::DeleteBranch, 4, 25, 909, 3);
+        assert_eq!(serial, par);
     }
 }

@@ -9,6 +9,11 @@
 //! reaches the application scales with its syscall rate, which is the
 //! paper's explanation for nvi failing recovery five times as often as
 //! postgres.
+//!
+//! Like Table 1, the campaign is a pure per-trial function
+//! ([`run_trial`]) plus order-insensitive fold, so the parallel driver
+//! ([`run_fault_type_par`]) produces rows bitwise identical to the serial
+//! loop for every thread count.
 
 use ft_core::event::ProcessId;
 use ft_core::protocol::Protocol;
@@ -17,11 +22,12 @@ use ft_dc::state::DcConfig;
 use ft_faults::{FaultType, KernelFaultPlan};
 use ft_sim::rng::SplitMix64;
 
+use crate::runner::{run_indexed, SeedStream};
 use crate::scenarios::Built;
 use crate::table1::Table1App;
 
 /// One fault type's OS-fault campaign results.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Table2Row {
     /// The fault type.
     pub fault: FaultType,
@@ -60,8 +66,35 @@ fn session_span(app: Table1App) -> u64 {
     }
 }
 
-/// Runs the OS-fault campaign for one fault type.
+/// What one trial contributes to its [`Table2Row`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// The injection manifested as a propagation failure.
+    propagated: bool,
+    /// The application failed to recover.
+    failed: bool,
+}
+
+/// Runs trial `t` of the `(app, fault)` OS-fault campaign: self-contained
+/// and pure in `(app, fault, t, seeds)`.
+pub fn run_trial(app: Table1App, fault: FaultType, t: u32, seeds: SeedStream) -> TrialOutcome {
+    let seed = seeds.seed(t as u64);
+    let mut rng = SplitMix64::new(seed ^ 0x05FA);
+    let inject_at = session_span(app) / 5 + rng.below(session_span(app) * 3 / 5);
+    let (mut sim, apps) = build_app(app, seed);
+    let plan = KernelFaultPlan::for_type(fault, inject_at);
+    let propagated = plan.inject(&mut sim, ProcessId(0), &mut rng);
+    let report = DcHarness::new(sim, DcConfig::discount_checking(Protocol::Cpvs), apps).run();
+    TrialOutcome {
+        propagated,
+        failed: !report.all_done,
+    }
+}
+
+/// Runs the OS-fault campaign for one fault type — the serial reference
+/// loop.
 pub fn run_fault_type(app: Table1App, fault: FaultType, trials: u32, seed0: u64) -> Table2Row {
+    let seeds = SeedStream::new(seed0);
     let mut row = Table2Row {
         fault,
         crashes: 0,
@@ -69,28 +102,65 @@ pub fn run_fault_type(app: Table1App, fault: FaultType, trials: u32, seed0: u64)
         propagations: 0,
     };
     for t in 0..trials {
-        let seed = seed0 + t as u64 * 911;
-        let mut rng = SplitMix64::new(seed ^ 0x05FA);
-        let inject_at = session_span(app) / 5 + rng.below(session_span(app) * 3 / 5);
-        let (mut sim, apps) = build_app(app, seed);
-        let plan = KernelFaultPlan::for_type(fault, inject_at);
-        if plan.inject(&mut sim, ProcessId(0), &mut rng) {
-            row.propagations += 1;
-        }
-        row.crashes += 1;
-        let report = DcHarness::new(sim, DcConfig::discount_checking(Protocol::Cpvs), apps).run();
-        if !report.all_done {
-            row.failed_recoveries += 1;
-        }
+        absorb(&mut row, run_trial(app, fault, t, seeds));
     }
     row
 }
 
-/// Runs the full Table 2 campaign for one application.
+/// As [`run_fault_type`], sharded across `threads` workers; bitwise
+/// identical rows for every thread count (Table 2 has no early exit, so
+/// the fold is a straight index-ordered reduction).
+pub fn run_fault_type_par(
+    app: Table1App,
+    fault: FaultType,
+    trials: u32,
+    seed0: u64,
+    threads: usize,
+) -> Table2Row {
+    let seeds = SeedStream::new(seed0);
+    let mut row = Table2Row {
+        fault,
+        crashes: 0,
+        failed_recoveries: 0,
+        propagations: 0,
+    };
+    for outcome in run_indexed(trials as usize, threads, |t| {
+        run_trial(app, fault, t as u32, seeds)
+    }) {
+        absorb(&mut row, outcome);
+    }
+    row
+}
+
+fn absorb(row: &mut Table2Row, o: TrialOutcome) {
+    row.crashes += 1;
+    if o.propagated {
+        row.propagations += 1;
+    }
+    if o.failed {
+        row.failed_recoveries += 1;
+    }
+}
+
+/// The per-fault-type campaign seed, shared by both drivers.
+fn fault_seed(seed0: u64, fault: FaultType) -> u64 {
+    seed0 ^ (fault as u64) << 16
+}
+
+/// Runs the full Table 2 campaign for one application (serial).
 pub fn run_table2(app: Table1App, trials: u32, seed0: u64) -> Vec<Table2Row> {
     FaultType::ALL
         .iter()
-        .map(|&f| run_fault_type(app, f, trials, seed0 ^ (f as u64) << 16))
+        .map(|&f| run_fault_type(app, f, trials, fault_seed(seed0, f)))
+        .collect()
+}
+
+/// Runs the full Table 2 campaign for one application on `threads`
+/// workers; rows are bitwise identical to [`run_table2`]'s.
+pub fn run_table2_par(app: Table1App, trials: u32, seed0: u64, threads: usize) -> Vec<Table2Row> {
+    FaultType::ALL
+        .iter()
+        .map(|&f| run_fault_type_par(app, f, trials, fault_seed(seed0, f), threads))
         .collect()
 }
 
@@ -126,5 +196,12 @@ mod tests {
             nvi.failed_recoveries,
             pg.failed_recoveries
         );
+    }
+
+    #[test]
+    fn parallel_row_matches_serial_row() {
+        let serial = run_fault_type(Table1App::Nvi, FaultType::HeapBitFlip, 10, 41);
+        let par = run_fault_type_par(Table1App::Nvi, FaultType::HeapBitFlip, 10, 41, 4);
+        assert_eq!(serial, par);
     }
 }

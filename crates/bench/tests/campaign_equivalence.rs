@@ -1,0 +1,110 @@
+//! The parallel runner's headline property: for every campaign in the
+//! matrix — Table 1 on nvi and postgres, Table 2 on nvi and postgres, and
+//! the loss sweep — the rows produced at 1, 2, 4 and 7 worker threads are
+//! **bitwise identical** to the serial reference rows, including
+//! Table 1's early-exit trial count (the "stop after `target_crashes`"
+//! cutoff must be a deterministic trial index, not a scheduling race).
+
+use ft_bench::campaign::{run_campaign_par, run_campaign_serial, CampaignConfig};
+use ft_bench::loss::{loss_sweep, loss_sweep_par};
+use ft_bench::scenarios;
+use ft_bench::table1::{self, Table1App};
+use ft_bench::table2;
+use ft_core::protocol::Protocol;
+use ft_faults::FaultType;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Small but real sizes: crash-prone fault types reach `TARGET` before
+/// `MAX` (exercising the early exit) and benign ones run to `MAX`.
+const TARGET: u32 = 3;
+const MAX: u32 = 20;
+
+#[test]
+fn table1_nvi_parallel_rows_equal_serial() {
+    let serial = table1::run_table1(Table1App::Nvi, TARGET, MAX, 0xF417);
+    for threads in THREAD_COUNTS {
+        let par = table1::run_table1_par(Table1App::Nvi, TARGET, MAX, 0xF417, threads);
+        assert_eq!(par, serial, "{threads} threads");
+    }
+}
+
+#[test]
+fn table1_postgres_parallel_rows_equal_serial() {
+    let serial = table1::run_table1(Table1App::Postgres, TARGET, MAX, 0xF417);
+    for threads in THREAD_COUNTS {
+        let par = table1::run_table1_par(Table1App::Postgres, TARGET, MAX, 0xF417, threads);
+        assert_eq!(par, serial, "{threads} threads");
+    }
+}
+
+#[test]
+fn table1_early_exit_count_is_deterministic() {
+    // The early exit itself must be exercised by the sizes above — a
+    // crash-prone type stops before MAX, so the *trial count* (not just
+    // the tallies) is part of the equivalence.
+    let serial = table1::run_fault_type(Table1App::Nvi, FaultType::DeleteBranch, TARGET, MAX, 0x11);
+    assert!(
+        serial.trials < MAX,
+        "sizes must exercise the early exit (got {} trials)",
+        serial.trials
+    );
+    for threads in THREAD_COUNTS {
+        let par = table1::run_fault_type_par(
+            Table1App::Nvi,
+            FaultType::DeleteBranch,
+            TARGET,
+            MAX,
+            0x11,
+            threads,
+        );
+        assert_eq!(par, serial, "{threads} threads");
+        assert_eq!(par.trials, serial.trials, "{threads} threads: trial count");
+    }
+}
+
+#[test]
+fn table2_nvi_parallel_rows_equal_serial() {
+    let serial = table2::run_table2(Table1App::Nvi, 5, 0x0542);
+    for threads in THREAD_COUNTS {
+        let par = table2::run_table2_par(Table1App::Nvi, 5, 0x0542, threads);
+        assert_eq!(par, serial, "{threads} threads");
+    }
+}
+
+#[test]
+fn table2_postgres_parallel_rows_equal_serial() {
+    let serial = table2::run_table2(Table1App::Postgres, 5, 0x0542);
+    for threads in THREAD_COUNTS {
+        let par = table2::run_table2_par(Table1App::Postgres, 5, 0x0542, threads);
+        assert_eq!(par, serial, "{threads} threads");
+    }
+}
+
+#[test]
+fn loss_sweep_parallel_rows_equal_serial() {
+    let rates = [0.0, 0.02, 0.05];
+    let build = || scenarios::taskfarm(19, 3);
+    let serial = loss_sweep(&build, Protocol::Cbndv2pc, 0xFAB3, &rates);
+    for threads in THREAD_COUNTS {
+        let par = loss_sweep_par(&build, Protocol::Cbndv2pc, 0xFAB3, &rates, threads);
+        assert_eq!(par, serial, "{threads} threads");
+    }
+}
+
+/// The whole matrix at once, through the same entry points the `campaign`
+/// binary uses.
+#[test]
+fn full_matrix_parallel_equals_serial() {
+    let cfg = CampaignConfig {
+        target_crashes: 2,
+        max_trials: 12,
+        table2_trials: 3,
+        loss_rates: vec![0.0, 0.05],
+        ..CampaignConfig::default()
+    };
+    let serial = run_campaign_serial(&cfg);
+    for threads in THREAD_COUNTS {
+        assert_eq!(run_campaign_par(&cfg, threads), serial, "{threads} threads");
+    }
+}

@@ -1,0 +1,99 @@
+//! The golden trace-hash gate: every workload in the suite, run under
+//! Discount Checking with CPVS, must reproduce the exact event trace,
+//! visible outputs and final simulated time recorded in
+//! `tests/fixtures/golden_trace_hashes.txt`.
+//!
+//! PR 1's property tests prove determinism *within* a build (same seed ⇒
+//! same trace, for any thread count); this fixture turns that into a
+//! regression gate *across* versions: any change to the simulator,
+//! protocols, transport, applications, or scheduling that perturbs an
+//! observable run — intentional or not — fails here and forces the
+//! fixture (and the recorded tables) to be re-examined.
+//!
+//! On an intentional behavior change, regenerate with:
+//!
+//! ```text
+//! cargo test -p ft-bench --test golden_traces -- --nocapture
+//! ```
+//!
+//! and copy the `measured:` block the failure prints into the fixture.
+
+use ft_bench::fingerprint::report_fingerprint;
+use ft_bench::scenarios::{self, Built};
+use ft_core::protocol::Protocol;
+use ft_dc::harness::DcHarness;
+use ft_dc::state::DcConfig;
+
+const FIXTURE: &str = include_str!("fixtures/golden_trace_hashes.txt");
+
+/// The six workloads of the suite, at the sizes PR 1's transparency tests
+/// use, each run under CPVS.
+type Workload = (&'static str, fn() -> Built);
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        ("nvi", || scenarios::nvi(7, 40)),
+        ("magic", || scenarios::magic(7, 10)),
+        ("xpilot", || scenarios::xpilot(7, 20)),
+        ("treadmarks", || scenarios::treadmarks(7, 8)),
+        ("taskfarm", || scenarios::taskfarm(7, 3)),
+        ("postgres", || scenarios::postgres(7, 10)),
+    ]
+}
+
+fn measure(build: fn() -> Built) -> u64 {
+    let (sim, apps) = build();
+    let report = DcHarness::new(sim, DcConfig::discount_checking(Protocol::Cpvs), apps).run();
+    assert!(report.all_done, "golden workload must complete");
+    report_fingerprint(&report)
+}
+
+fn parse_fixture() -> Vec<(String, u64)> {
+    FIXTURE
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (name, hex) = l.split_once(' ').expect("fixture line: `<name> 0x<hash>`");
+            let hash = u64::from_str_radix(hex.trim().trim_start_matches("0x"), 16)
+                .expect("fixture hash must be hex");
+            (name.to_string(), hash)
+        })
+        .collect()
+}
+
+#[test]
+fn cpvs_traces_match_the_golden_fixture() {
+    let golden = parse_fixture();
+    let measured: Vec<(String, u64)> = workloads()
+        .iter()
+        .map(|(name, build)| (name.to_string(), measure(*build)))
+        .collect();
+    let render = |rows: &[(String, u64)]| {
+        rows.iter()
+            .map(|(n, h)| format!("{n} 0x{h:016x}\n"))
+            .collect::<String>()
+    };
+    assert_eq!(
+        golden,
+        measured,
+        "golden trace fingerprints diverged.\nmeasured:\n{}",
+        render(&measured)
+    );
+}
+
+#[test]
+fn fixture_covers_all_six_workloads() {
+    let names: Vec<String> = parse_fixture().into_iter().map(|(n, _)| n).collect();
+    assert_eq!(
+        names,
+        [
+            "nvi",
+            "magic",
+            "xpilot",
+            "treadmarks",
+            "taskfarm",
+            "postgres"
+        ]
+    );
+}

@@ -1,0 +1,269 @@
+//! Round-trip tests for the hand-rolled JSON emitter: a minimal
+//! recursive-descent parser — in-repo, used only by these tests — parses
+//! the emitter's output (compact and pretty) back into the value tree and
+//! asserts it equals the original, including for a report-shaped document
+//! with every scalar kind the `BENCH_*.json` files use.
+
+use ft_bench::json::Json;
+
+/// A minimal JSON parser over the emitter's output grammar. Not a general
+/// validator — it accepts exactly (a superset of) what `Json::render` and
+/// `Json::render_pretty` produce, which is all the round-trip needs.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Json {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value();
+        p.skip_ws();
+        assert_eq!(p.pos, p.bytes.len(), "trailing garbage after document");
+        v
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\n' | b'\r' | b'\t'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) {
+        self.skip_ws();
+        assert_eq!(self.bytes.get(self.pos), Some(&b), "expected {}", b as char);
+        self.pos += 1;
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        self.bytes[self.pos]
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Json {
+        assert!(
+            self.bytes[self.pos..].starts_with(lit.as_bytes()),
+            "bad literal at {}",
+            self.pos
+        );
+        self.pos += lit.len();
+        value
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Json::Str(self.string()),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let mut out = String::new();
+        loop {
+            let text = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
+            let c = text.chars().next().expect("unterminated string");
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return out,
+                '\\' => {
+                    let e = self.bytes[self.pos];
+                    self.pos += 1;
+                    out.push(match e {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        b'b' => '\u{08}',
+                        b'f' => '\u{0C}',
+                        b'u' => {
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4]).unwrap();
+                            self.pos += 4;
+                            char::from_u32(u32::from_str_radix(hex, 16).unwrap()).unwrap()
+                        }
+                        other => panic!("bad escape \\{}", other as char),
+                    });
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        assert!(!text.is_empty(), "expected a number at {start}");
+        // Mirror the emitter's typing: a fraction or exponent means float;
+        // otherwise signed or unsigned integer.
+        if text.contains(['.', 'e', 'E']) {
+            Json::Float(text.parse().unwrap())
+        } else if let Some(neg) = text.strip_prefix('-') {
+            let _ = neg;
+            Json::Int(text.parse().unwrap())
+        } else {
+            Json::UInt(text.parse().unwrap())
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.eat(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Json::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Json::Arr(items);
+                }
+                other => panic!("expected , or ] — got {}", other as char),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.eat(b'{');
+        let mut pairs = Vec::new();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Json::Obj(pairs);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string();
+            self.eat(b':');
+            pairs.push((key, self.value()));
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Json::Obj(pairs);
+                }
+                other => panic!("expected , or }} — got {}", other as char),
+            }
+        }
+    }
+}
+
+/// A document exercising every construct the reports use: nested objects
+/// and arrays, empty containers, all scalar kinds, exact 64-bit
+/// integers, negative and fractional floats, and strings that need
+/// escaping.
+fn report_shaped_doc() -> Json {
+    Json::obj([
+        ("report", Json::from("table1")),
+        (
+            "config",
+            Json::obj([
+                ("max_trials", Json::from(600u32)),
+                (
+                    "loss_rates",
+                    Json::arr([Json::Float(0.0), Json::Float(0.05)]),
+                ),
+            ]),
+        ),
+        (
+            "wall",
+            Json::obj([
+                ("serial_ms", Json::Float(5231.25)),
+                ("speedup_vs_serial", Json::Float(3.5)),
+                ("overhead_pct", Json::Float(-1.7)),
+            ]),
+        ),
+        ("runtime_ns", Json::UInt(u64::MAX)),
+        ("delta", Json::Int(-42)),
+        (
+            "label",
+            Json::from("quote \" slash \\ newline \n tab \t ctrl \u{01}"),
+        ),
+        ("unicode", Json::from("héllo ✓ § —")),
+        ("done", Json::Bool(true)),
+        ("skipped", Json::Null),
+        ("empty_arr", Json::arr([])),
+        ("empty_obj", Json::obj(Vec::<(&str, Json)>::new())),
+        (
+            "rows",
+            Json::arr([
+                Json::obj([
+                    ("fault", Json::from("Heap bit flip")),
+                    ("pct", Json::Float(83.0)),
+                ]),
+                Json::obj([
+                    ("fault", Json::from("Off by one")),
+                    ("pct", Json::Float(24.5)),
+                ]),
+            ]),
+        ),
+    ])
+}
+
+#[test]
+fn compact_rendering_round_trips() {
+    let doc = report_shaped_doc();
+    assert_eq!(Parser::parse(&doc.render()), doc);
+}
+
+#[test]
+fn pretty_rendering_round_trips() {
+    let doc = report_shaped_doc();
+    assert_eq!(Parser::parse(&doc.render_pretty()), doc);
+}
+
+#[test]
+fn scalars_round_trip() {
+    for v in [
+        Json::Null,
+        Json::Bool(false),
+        Json::UInt(0),
+        Json::UInt(u64::MAX),
+        Json::Int(i64::MIN),
+        Json::Float(0.1 + 0.2), // shortest-repr formatting must round-trip exactly
+        Json::Float(1e300),
+        Json::Float(-2.5e-7),
+        Json::Str(String::new()),
+        Json::Str("\u{0}\u{1f}".to_string()),
+    ] {
+        assert_eq!(Parser::parse(&v.render()), v, "{v:?}");
+    }
+}
+
+#[test]
+fn float_jitter_round_trips_exactly() {
+    // Shortest-round-trip formatting is exact for every f64: sweep a few
+    // thousand awkward values.
+    let mut x = 0.1f64;
+    for i in 0..5000 {
+        let v = Json::Float(x);
+        assert_eq!(Parser::parse(&v.render()), v, "iteration {i}");
+        x = x * 1.37 + 0.001;
+        if !x.is_finite() {
+            break;
+        }
+    }
+}

@@ -55,8 +55,14 @@ impl<T: Pod> ArenaVec<T> {
     }
 
     /// Byte offset of element `i` (for fault targeting and raw access).
+    ///
+    /// Wrapping: fault-injection studies hand this corrupted (huge)
+    /// indices on purpose; the resulting garbage offset must be the same
+    /// in debug and release builds so an injected trial's outcome does
+    /// not depend on overflow checks. Callers bounds-check against `len`
+    /// before trusting the offset.
     pub fn element_offset(&self, i: usize) -> usize {
-        self.data_off + i * T::SIZE
+        self.data_off.wrapping_add(i.wrapping_mul(T::SIZE))
     }
 
     /// Reads element `i`.

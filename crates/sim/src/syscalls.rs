@@ -227,7 +227,13 @@ pub trait SysMem: Syscalls {
 /// program counter: duplicated sends are deduplicated by the network,
 /// duplicated visibles are permitted by consistent recovery, and a
 /// commit-after-nd checkpoint carries the nd result as a pending value.
-pub trait App {
+///
+/// `Send` is a supertrait so a fully built trial — simulator plus
+/// applications — is self-contained and can be constructed and run on any
+/// worker thread of the parallel campaign runner (`ft-bench`). Every
+/// application is plain owned data; the bound just makes that a
+/// compile-time guarantee.
+pub trait App: Send {
     /// Executes one step. Memory faults are crash events.
     fn step(&mut self, sys: &mut dyn SysMem) -> MemResult<AppStatus>;
 

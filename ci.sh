@@ -9,10 +9,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 
 # Campaign smoke: the parallel runner must reproduce the serial rows
-# bitwise (the binary exits nonzero on any serial/parallel mismatch) and
-# emit the three machine-readable reports.
+# bitwise for both the fault-injection matrix and the Figure 8 grids (the
+# binary exits nonzero on any serial/parallel mismatch) and emit the four
+# machine-readable reports.
 cargo run --release -q -p ft-bench --bin campaign -- --quick --threads 4 --out .
-for f in BENCH_table1.json BENCH_table2.json BENCH_loss.json; do
+for f in BENCH_table1.json BENCH_table2.json BENCH_loss.json BENCH_fig8.json; do
   [[ -s "$f" ]] || { echo "ci: missing $f" >&2; exit 1; }
 done
 

@@ -23,18 +23,21 @@ use ft_sim::App;
 
 /// Frame budget for 15 fps.
 pub const FRAME_NS: SimTime = 66_666_667;
-/// Ships in the world (one per client, plus one server drone).
+/// Ships in the default session's world (three clients plus one server
+/// drone). Sessions built with [`session_with`] size the world as
+/// `clients + 1`.
 pub const SHIPS: usize = 4;
+/// Largest supported ship count: the world and input staging regions must
+/// fit below the bullets field at `G_BULLETS`.
+pub const MAX_SHIPS: usize = (G_BULLETS - G_WORLD) / (32 + 8);
 
 // Shared globals (both roles).
 const G_PHASE: ArenaCell<u64> = ArenaCell::at(0);
 const G_FRAME: ArenaCell<u64> = ArenaCell::at(8);
 const G_DEADLINE: ArenaCell<u64> = ArenaCell::at(16);
 const G_CLOCK: ArenaCell<u64> = ArenaCell::at(24);
-// Server: world state = SHIPS × (x, y, vx, vy) as i64 quads from 64.
+// Server: world state = ships × (x, y, vx, vy) as i64 quads from 64.
 const G_WORLD: usize = 64;
-// Server: staged client inputs.
-const G_INPUTS: usize = 64 + SHIPS * 32;
 // Server: the bullets/objects field, rewritten every frame (the bulk of
 // the world state, and of each checkpoint's dirty set).
 const G_BULLETS: usize = 4096;
@@ -72,9 +75,24 @@ pub struct GameClient {
     pub server: ProcessId,
     /// This client's ship slot (1-based; slot 0 is the server drone).
     pub slot: usize,
+    /// Ships in the session's world (`clients + 1`; fixes the world-region
+    /// layout and the multicast payload size).
+    pub ships: usize,
     /// Session length in frames (program constant; the client leaves after
     /// rendering this many).
     pub frames: u64,
+}
+
+impl GameServer {
+    /// Ships in this session's world: one per client plus the drone.
+    fn ships(&self) -> usize {
+        self.clients.len() + 1
+    }
+
+    /// Offset of the staged-inputs region (right after the world).
+    fn inputs_off(&self) -> usize {
+        G_WORLD + self.ships() * 32
+    }
 }
 
 fn ship_off(slot: usize) -> usize {
@@ -82,8 +100,8 @@ fn ship_off(slot: usize) -> usize {
 }
 
 /// Serializes the world region for the state multicast.
-fn world_bytes(mem: &Mem) -> MemResult<Vec<u8>> {
-    Ok(mem.arena.read(G_WORLD, SHIPS * 32)?.to_vec())
+fn world_bytes(mem: &Mem, ships: usize) -> MemResult<Vec<u8>> {
+    Ok(mem.arena.read(G_WORLD, ships * 32)?.to_vec())
 }
 
 impl App for GameServer {
@@ -93,10 +111,11 @@ impl App for GameServer {
             SP_GATHER => {
                 // Drain one client input per step until the frame deadline.
                 if let Some(msg) = sys.try_recv() {
-                    let slot = msg.payload.first().copied().unwrap_or(1) as usize % SHIPS;
+                    let slot = msg.payload.first().copied().unwrap_or(1) as usize % self.ships();
                     let thrust = msg.payload.get(1).copied().unwrap_or(0) as i64 - 2;
+                    let inputs = self.inputs_off();
                     let m = sys.mem();
-                    m.arena.write_pod(G_INPUTS + slot * 8, thrust)?;
+                    m.arena.write_pod(inputs + slot * 8, thrust)?;
                     return Ok(AppStatus::Running);
                 }
                 let deadline = G_DEADLINE.get(&sys.mem().arena)?;
@@ -119,14 +138,16 @@ impl App for GameServer {
                 // Advance the world: integrate velocities, apply inputs,
                 // bounce off the arena walls.
                 sys.compute(3 * MS);
+                let ships = self.ships();
+                let inputs = self.inputs_off();
                 let m = sys.mem();
-                for s in 0..SHIPS {
+                for s in 0..ships {
                     let off = ship_off(s);
                     let mut x: i64 = m.arena.read_pod(off)?;
                     let mut y: i64 = m.arena.read_pod(off + 8)?;
                     let mut vx: i64 = m.arena.read_pod(off + 16)?;
                     let mut vy: i64 = m.arena.read_pod(off + 24)?;
-                    let thrust: i64 = m.arena.read_pod(G_INPUTS + s * 8)?;
+                    let thrust: i64 = m.arena.read_pod(inputs + s * 8)?;
                     vx += thrust;
                     vy += thrust.rotate_left(1) % 3;
                     x += vx;
@@ -156,7 +177,8 @@ impl App for GameServer {
                 let idx = G_SEND_IDX.get(&sys.mem().arena)? as usize;
                 if idx < self.clients.len() {
                     let frame = G_FRAME.get(&sys.mem().arena)?;
-                    let mut payload = world_bytes(sys.mem())?;
+                    let ships = self.ships();
+                    let mut payload = world_bytes(sys.mem(), ships)?;
                     payload.extend_from_slice(&frame.to_le_bytes());
                     sys.send(self.clients[idx], payload)
                         .map_err(|_| MemFault::InvariantViolated { check: 6 })?;
@@ -196,13 +218,14 @@ impl App for GameClient {
         match G_PHASE.get(&sys.mem().arena)? {
             CP_AWAIT => {
                 if let Some(msg) = sys.try_recv() {
-                    if msg.payload.len() < SHIPS * 32 + 8 {
+                    let world_len = self.ships * 32;
+                    if msg.payload.len() < world_len + 8 {
                         return Err(MemFault::InvariantViolated { check: 7 });
                     }
                     let m = sys.mem();
-                    m.arena.write(G_WORLD, &msg.payload[..SHIPS * 32])?;
+                    m.arena.write(G_WORLD, &msg.payload[..world_len])?;
                     let mut fb = [0u8; 8];
-                    fb.copy_from_slice(&msg.payload[SHIPS * 32..SHIPS * 32 + 8]);
+                    fb.copy_from_slice(&msg.payload[world_len..world_len + 8]);
                     G_FRAME.set(&mut m.arena, u64::from_le_bytes(fb))?;
                     G_PHASE.set(&mut m.arena, CP_RENDER)?;
                     Ok(AppStatus::Running)
@@ -215,7 +238,7 @@ impl App for GameClient {
                 sys.compute(1500 * US);
                 let m = sys.mem();
                 let frame = G_FRAME.get(&m.arena)?;
-                let world = world_bytes(m)?;
+                let world = world_bytes(m, self.ships)?;
                 sys.visible(frame_token(self.slot, frame, &world));
                 G_PHASE.set(&mut sys.mem().arena, CP_SAMPLE)?;
                 Ok(AppStatus::Running)
@@ -280,14 +303,29 @@ pub fn frame_of_token(token: u64) -> u64 {
 
 /// Builds the standard 4-process session: server at pid 0, three clients.
 pub fn session(frames: u64) -> Vec<Box<dyn App>> {
+    session_with(3, frames)
+}
+
+/// Builds a session with `clients` client processes (pids 1..=clients)
+/// around the server at pid 0. The world holds `clients + 1` ships.
+///
+/// # Panics
+///
+/// Panics if `clients` is zero or the world would not fit below the
+/// bullets field (`clients + 1 > MAX_SHIPS`).
+pub fn session_with(clients: usize, frames: u64) -> Vec<Box<dyn App>> {
+    assert!(clients >= 1, "a session needs at least one client");
+    let ships = clients + 1;
+    assert!(ships <= MAX_SHIPS, "world region overflows into bullets");
     let mut apps: Vec<Box<dyn App>> = vec![Box::new(GameServer {
-        clients: vec![ProcessId(1), ProcessId(2), ProcessId(3)],
+        clients: (1..=clients).map(|p| ProcessId(p as u32)).collect(),
         frames,
     })];
-    for slot in 1..=3 {
+    for slot in 1..=clients {
         apps.push(Box::new(GameClient {
             server: ProcessId(0),
             slot,
+            ships,
             frames,
         }));
     }

@@ -39,7 +39,8 @@ fn campaign(eager: bool, protocol: Protocol) -> (u32, u32) {
             scenarios::nvi_checked(seed, 400, ft_sim::MS, Some(plan))
         } else {
             scenarios::nvi_custom(seed, 400, ft_sim::MS, Some(plan))
-        };
+        }
+        .into_parts();
         let mut cfg = DcConfig::discount_checking(protocol);
         cfg.max_recoveries = 0;
         let report = DcHarness::new(sim, cfg, apps).run();
@@ -61,7 +62,8 @@ fn baseline_runtime(eager: bool) -> u64 {
         scenarios::nvi_checked(1, 400, 0, None)
     } else {
         scenarios::nvi_custom(1, 400, 0, None)
-    };
+    }
+    .into_parts();
     let r = run_plain_on(sim, &mut apps);
     assert!(r.all_done);
     r.runtime

@@ -20,7 +20,7 @@ fn main() {
     let keys = 120usize;
     let kill_at = 95 * MS;
     let build = || ft_bench::scenarios::nvi_custom(31, keys, MS, None);
-    let (sim, mut apps) = build();
+    let (sim, mut apps) = build().into_parts();
     let base = run_plain_on(sim, &mut apps);
     assert!(base.all_done);
     let base_visibles = base.visibles.len();
@@ -31,7 +31,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for protocol in Protocol::FIGURE8 {
-        let (mut sim, apps) = build();
+        let (mut sim, apps) = build().into_parts();
         sim.kill_at(ProcessId(0), kill_at);
         let report = DcHarness::new(sim, DcConfig::discount_checking(protocol), apps).run();
         assert!(report.all_done, "{protocol}");

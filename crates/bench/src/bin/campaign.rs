@@ -1,9 +1,10 @@
 //! The campaign binary: runs the full fault-injection matrix — Table 1
 //! and Table 2 on both applications plus the loss-rate degradation sweep
-//! — serially and then sharded across a worker pool, **asserts the two
-//! produced bitwise-identical rows**, prints the text tables, and writes
-//! the machine-readable `BENCH_table1.json` / `BENCH_table2.json` /
-//! `BENCH_loss.json` reports with wall-clock and speedup-vs-serial.
+//! and the Figure 8 protocol-space grids — serially and then sharded
+//! across a worker pool, **asserts the two produced bitwise-identical
+//! rows**, prints the text tables, and writes the machine-readable
+//! `BENCH_table1.json` / `BENCH_table2.json` / `BENCH_loss.json` /
+//! `BENCH_fig8.json` reports with wall-clock and speedup-vs-serial.
 //!
 //! ```text
 //! cargo run --release -p ft-bench --bin campaign -- --threads 4
@@ -23,8 +24,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ft_bench::campaign::{
-    self, loss_json, run_campaign_par, run_campaign_serial, table1_json, table2_json,
-    CampaignConfig, WallClock,
+    self, fig8_json, loss_json, run_campaign_par, run_campaign_serial, run_fig8_par,
+    run_fig8_serial, table1_json, table2_json, CampaignConfig, WallClock,
 };
 use ft_bench::runner::default_threads;
 
@@ -116,6 +117,27 @@ fn main() -> ExitCode {
     }
     println!("serial/parallel equivalence: OK (rows bitwise identical)\n");
 
+    // The Figure 8 stage, under the same contract: serial reference, then
+    // the sharded grids, which must match bit for bit.
+    let t2 = Instant::now();
+    let fig8_serial = run_fig8_serial(&args.cfg);
+    let fig8_serial_ms = t2.elapsed().as_secs_f64() * 1e3;
+    let t3 = Instant::now();
+    let fig8_parallel = run_fig8_par(&args.cfg, args.threads);
+    let fig8_parallel_ms = t3.elapsed().as_secs_f64() * 1e3;
+    if fig8_serial != fig8_parallel {
+        eprintln!(
+            "campaign: Figure 8 serial/parallel MISMATCH — the sharded grids \
+             diverged from the serial reference.\nserial:   {fig8_serial:?}\n\
+             parallel: {fig8_parallel:?}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "figure 8: serial {fig8_serial_ms:.0} ms, parallel {fig8_parallel_ms:.0} ms — \
+         equivalence OK\n"
+    );
+
     for (app, rows) in &parallel.table1 {
         println!("{}", campaign::render_table1(*app, rows));
     }
@@ -123,6 +145,7 @@ fn main() -> ExitCode {
         println!("{}", campaign::render_table2(*app, rows));
     }
     println!("{}", campaign::render_loss(&parallel.loss));
+    println!("{}", campaign::render_fig8(&fig8_parallel));
 
     let wall = WallClock {
         serial_ms,
@@ -152,6 +175,14 @@ fn main() -> ExitCode {
             table2_json(&parallel, &args.cfg, &wall),
         ),
         ("BENCH_loss.json", loss_json(&parallel, &args.cfg, &wall)),
+        ("BENCH_fig8.json", {
+            let fig8_wall = WallClock {
+                serial_ms: fig8_serial_ms,
+                parallel_ms: fig8_parallel_ms,
+                ..wall
+            };
+            fig8_json(&fig8_parallel, &args.cfg, &fig8_wall)
+        }),
     ] {
         let path = args.out.join(name);
         if let Err(e) = std::fs::write(&path, doc.render_pretty()) {

@@ -12,7 +12,9 @@
 //! and 7 threads.
 
 use ft_core::protocol::Protocol;
+use ft_mem::arena::ArenaStats;
 
+use crate::fig8::{self, Fig8FpsRow, Fig8Row};
 use crate::json::Json;
 use crate::loss::{self, LossRow};
 use crate::report::render_table;
@@ -36,6 +38,60 @@ pub struct CampaignConfig {
     pub table1_seed: u64,
     /// Table 2 campaign seed.
     pub table2_seed: u64,
+    /// Figure 8 grid sizing.
+    pub fig8: Fig8Config,
+}
+
+/// Figure 8 stage sizing: one scenario shape per panel of the figure.
+#[derive(Debug, Clone)]
+pub struct Fig8Config {
+    /// Scenario seed shared by the four workloads.
+    pub seed: u64,
+    /// nvi session length, keystrokes.
+    pub nvi_keys: usize,
+    /// TreadMarks Barnes-Hut iterations.
+    pub treadmarks_iters: u64,
+    /// Task-farm worker count.
+    pub taskfarm_workers: u32,
+    /// xpilot session length, frames.
+    pub xpilot_frames: u64,
+}
+
+impl Default for Fig8Config {
+    fn default() -> Self {
+        Fig8Config {
+            seed: 7,
+            nvi_keys: 240,
+            treadmarks_iters: 16,
+            taskfarm_workers: 3,
+            xpilot_frames: 40,
+        }
+    }
+}
+
+impl Fig8Config {
+    /// The smoke sizing — deliberately the same shapes the golden-trace
+    /// fixture pins, so CI's Figure 8 stage and the trace-identity suite
+    /// measure the same runs.
+    pub fn quick() -> Self {
+        Fig8Config {
+            seed: 7,
+            nvi_keys: 40,
+            treadmarks_iters: 8,
+            taskfarm_workers: 3,
+            xpilot_frames: 20,
+        }
+    }
+
+    fn as_json(&self) -> Json {
+        Json::obj([
+            ("seed", Json::from(self.seed)),
+            ("nvi_keys", Json::from(self.nvi_keys)),
+            ("treadmarks_iters", Json::from(self.treadmarks_iters)),
+            ("taskfarm_workers", Json::from(self.taskfarm_workers)),
+            ("xpilot_frames", Json::from(self.xpilot_frames)),
+        ])
+    }
 }
 
 impl Default for CampaignConfig {
@@ -47,6 +103,7 @@ impl Default for CampaignConfig {
             loss_rates: vec![0.0, 0.01, 0.02, 0.05, 0.10],
             table1_seed: 0xF417,
             table2_seed: 0x0542,
+            fig8: Fig8Config::default(),
         }
     }
 }
@@ -59,6 +116,7 @@ impl CampaignConfig {
             max_trials: 60,
             table2_trials: 8,
             loss_rates: vec![0.0, 0.02, 0.05],
+            fig8: Fig8Config::quick(),
             ..CampaignConfig::default()
         }
     }
@@ -74,6 +132,7 @@ impl CampaignConfig {
             ),
             ("table1_seed", Json::from(self.table1_seed)),
             ("table2_seed", Json::from(self.table2_seed)),
+            ("fig8", self.fig8.as_json()),
         ])
     }
 }
@@ -184,6 +243,80 @@ pub fn run_campaign_par(cfg: &CampaignConfig, threads: usize) -> CampaignResult 
 }
 
 // ---------------------------------------------------------------------
+// The Figure 8 stage.
+
+/// The Figure 8 protocol-space stage's output: overhead grids for the
+/// three runtime-overhead workloads plus the frame-rate grid for the
+/// game. `PartialEq` is the serial/parallel equivalence check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Result {
+    /// Overhead grids: (workload label, one row per Figure 8 protocol).
+    pub overhead: Vec<(&'static str, Vec<Fig8Row>)>,
+    /// Frame-rate grids (xpilot).
+    pub fps: Vec<(&'static str, Vec<Fig8FpsRow>)>,
+}
+
+type OverheadWorkload = (&'static str, Box<dyn Fn() -> scenarios::Built + Sync>);
+
+fn fig8_overhead_matrix(f8: &Fig8Config) -> Vec<OverheadWorkload> {
+    let Fig8Config {
+        seed,
+        nvi_keys,
+        treadmarks_iters,
+        taskfarm_workers,
+        ..
+    } = *f8;
+    vec![
+        ("nvi", Box::new(move || scenarios::nvi(seed, nvi_keys))),
+        (
+            "treadmarks",
+            Box::new(move || scenarios::treadmarks(seed, treadmarks_iters)),
+        ),
+        (
+            "taskfarm",
+            Box::new(move || scenarios::taskfarm(seed, taskfarm_workers)),
+        ),
+    ]
+}
+
+/// Runs the Figure 8 grids serially — the reference semantics.
+pub fn run_fig8_serial(cfg: &CampaignConfig) -> Fig8Result {
+    let f8 = &cfg.fig8;
+    let overhead = fig8_overhead_matrix(f8)
+        .into_iter()
+        .map(|(label, build)| (label, fig8::overhead_grid(&build, &Protocol::FIGURE8)))
+        .collect();
+    let (seed, frames) = (f8.seed, f8.xpilot_frames);
+    let xpilot = move || scenarios::xpilot(seed, frames);
+    Fig8Result {
+        overhead,
+        fps: vec![("xpilot", fig8::fps_grid(&xpilot, &Protocol::FIGURE8))],
+    }
+}
+
+/// Runs the Figure 8 grids with cells sharded across `threads` workers.
+/// Bitwise identical to [`run_fig8_serial`] for any thread count.
+pub fn run_fig8_par(cfg: &CampaignConfig, threads: usize) -> Fig8Result {
+    let f8 = &cfg.fig8;
+    let overhead = fig8_overhead_matrix(f8)
+        .into_iter()
+        .map(|(label, build)| {
+            let rows = fig8::overhead_grid_par(&build, &Protocol::FIGURE8, threads);
+            (label, rows)
+        })
+        .collect();
+    let (seed, frames) = (f8.seed, f8.xpilot_frames);
+    let xpilot = move || scenarios::xpilot(seed, frames);
+    Fig8Result {
+        overhead,
+        fps: vec![(
+            "xpilot",
+            fig8::fps_grid_par(&xpilot, &Protocol::FIGURE8, threads),
+        )],
+    }
+}
+
+// ---------------------------------------------------------------------
 // Text rendering (shared with the standalone bench binaries).
 
 /// Renders one application's Table 1 with its summary lines.
@@ -283,6 +416,70 @@ pub fn render_loss(results: &[(&'static str, Vec<LossRow>)]) -> String {
         "Degradation vs. loss rate (failure-free, Discount Checking medium)\n{}",
         render_table(&loss::TABLE_HEADER, &table)
     )
+}
+
+/// Renders the Figure 8 stage: one table per workload.
+pub fn render_fig8(result: &Fig8Result) -> String {
+    let mut out = String::new();
+    for (label, rows) in &result.overhead {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.protocol.to_string(),
+                    r.ckpts.to_string(),
+                    format!("{:.1}%", r.dc_overhead_pct),
+                    format!("{:.1}%", r.disk_overhead_pct),
+                    r.arena.traps.to_string(),
+                    r.arena.committed_pages.to_string(),
+                ]
+            })
+            .collect();
+        out.push_str(&format!(
+            "Figure 8 — {label} (overhead vs. unrecoverable baseline)\n{}\n",
+            render_table(
+                &[
+                    "Protocol",
+                    "ckpts",
+                    "DC overhead",
+                    "disk overhead",
+                    "traps",
+                    "committed pages"
+                ],
+                &table
+            )
+        ));
+    }
+    for (label, rows) in &result.fps {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.protocol.to_string(),
+                    format!("{:.1}", r.ckps_per_sec),
+                    format!("{:.1}", r.dc_fps),
+                    format!("{:.1}", r.disk_fps),
+                    r.arena.traps.to_string(),
+                    r.arena.committed_pages.to_string(),
+                ]
+            })
+            .collect();
+        out.push_str(&format!(
+            "Figure 8 — {label} (sustained frame rate, budget 15 fps)\n{}\n",
+            render_table(
+                &[
+                    "Protocol",
+                    "ckpts/s",
+                    "DC fps",
+                    "disk fps",
+                    "traps",
+                    "committed pages"
+                ],
+                &table
+            )
+        ));
+    }
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -413,6 +610,66 @@ pub fn loss_json(result: &CampaignResult, cfg: &CampaignConfig, wall: &WallClock
         ])
     });
     doc.push(("sweeps".to_string(), Json::arr(sweeps)));
+    Json::Obj(doc)
+}
+
+fn arena_json(a: &ArenaStats) -> Json {
+    Json::obj([
+        ("traps", Json::from(a.traps)),
+        ("writes", Json::from(a.writes)),
+        ("commits", Json::from(a.commits)),
+        ("rollbacks", Json::from(a.rollbacks)),
+        ("committed_pages", Json::from(a.committed_pages)),
+        ("committed_bytes", Json::from(a.committed_bytes)),
+    ])
+}
+
+/// The `BENCH_fig8.json` document: per-protocol checkpoints, overhead
+/// percentages (or frame rates), and the arena's write-barrier counters
+/// for every workload of the figure.
+pub fn fig8_json(result: &Fig8Result, cfg: &CampaignConfig, wall: &WallClock) -> Json {
+    let mut doc = report_header("fig8", cfg, wall);
+    let overhead = result.overhead.iter().map(|(label, rows)| {
+        Json::obj([
+            ("workload", Json::from(*label)),
+            (
+                "rows",
+                Json::arr(rows.iter().map(|r| {
+                    Json::obj([
+                        ("protocol", Json::from(r.protocol.to_string())),
+                        ("ckpts", Json::from(r.ckpts)),
+                        ("dc_overhead_pct", Json::from(r.dc_overhead_pct)),
+                        ("disk_overhead_pct", Json::from(r.disk_overhead_pct)),
+                        ("base_runtime_ns", Json::from(r.runtimes.0)),
+                        ("dc_runtime_ns", Json::from(r.runtimes.1)),
+                        ("disk_runtime_ns", Json::from(r.runtimes.2)),
+                        ("visibles", Json::from(r.visibles)),
+                        ("arena", arena_json(&r.arena)),
+                    ])
+                })),
+            ),
+        ])
+    });
+    doc.push(("overhead".to_string(), Json::arr(overhead)));
+    let fps = result.fps.iter().map(|(label, rows)| {
+        Json::obj([
+            ("workload", Json::from(*label)),
+            (
+                "rows",
+                Json::arr(rows.iter().map(|r| {
+                    Json::obj([
+                        ("protocol", Json::from(r.protocol.to_string())),
+                        ("ckpts", Json::from(r.ckpts)),
+                        ("ckps_per_sec", Json::from(r.ckps_per_sec)),
+                        ("dc_fps", Json::from(r.dc_fps)),
+                        ("disk_fps", Json::from(r.disk_fps)),
+                        ("arena", arena_json(&r.arena)),
+                    ])
+                })),
+            ),
+        ])
+    });
+    doc.push(("fps".to_string(), Json::arr(fps)));
     Json::Obj(doc)
 }
 

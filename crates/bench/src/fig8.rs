@@ -4,19 +4,28 @@
 //! both media, reporting checkpoints taken and runtime overhead (or, for
 //! the real-time game, sustainable frame rate) — the numbers printed at
 //! each point of the paper's per-application protocol spaces.
+//!
+//! Each cell of a grid is an independent pure function of `(build,
+//! protocol)` ([`overhead_cell`] / [`fps_cell`]), so the grids come in two
+//! shapes sharing those cells verbatim: the serial reference
+//! ([`overhead_grid`] / [`fps_grid`]) and a sharded variant over the
+//! campaign runner ([`overhead_grid_par`] / [`fps_grid_par`]) that is
+//! bitwise identical for any thread count.
 
 use ft_core::event::ProcessId;
 use ft_core::protocol::Protocol;
 use ft_core::savework::check_save_work;
 use ft_dc::harness::DcHarness;
 use ft_dc::state::DcConfig;
+use ft_mem::arena::ArenaStats;
 use ft_sim::harness::run_plain_on;
 use ft_sim::SimTime;
 
+use crate::runner::run_indexed;
 use crate::scenarios::Built;
 
 /// One protocol's measurements on both media.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig8Row {
     /// The protocol.
     pub protocol: Protocol,
@@ -30,86 +39,133 @@ pub struct Fig8Row {
     pub runtimes: (SimTime, SimTime, SimTime),
     /// Visible-event counts (sanity: must match the baseline).
     pub visibles: usize,
+    /// Write-barrier statistics of the Discount Checking run (traps,
+    /// writes, committed pages/bytes) — the arena-side cost story.
+    pub arena: ArenaStats,
 }
 
 /// One protocol's frame-rate measurements (the xpilot metric).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig8FpsRow {
     /// The protocol.
     pub protocol: Protocol,
+    /// Total checkpoints across all processes (Discount Checking run).
+    pub ckpts: u64,
     /// Checkpoints per second, across all processes.
     pub ckps_per_sec: f64,
     /// Sustained client frame rate on Rio.
     pub dc_fps: f64,
     /// Sustained client frame rate on disk.
     pub disk_fps: f64,
+    /// Write-barrier statistics of the Discount Checking run.
+    pub arena: ArenaStats,
+}
+
+/// Runs the unrecoverable baseline once and returns its runtime (the
+/// denominator shared by every overhead cell).
+pub fn baseline_runtime(build: &dyn Fn() -> Built) -> SimTime {
+    let (sim, mut apps) = build().into_parts();
+    let base = run_plain_on(sim, &mut apps);
+    assert!(base.all_done, "baseline must complete");
+    base.runtime
+}
+
+/// Measures one protocol of an overhead grid: a pure function of the
+/// builder, the shared baseline runtime, and the protocol.
+pub fn overhead_cell(build: &dyn Fn() -> Built, base_runtime: SimTime, p: Protocol) -> Fig8Row {
+    let (sim, apps) = build().into_parts();
+    let dc = DcHarness::new(sim, DcConfig::discount_checking(p), apps).run();
+    assert!(dc.all_done, "{p} on Rio must complete");
+    // Every measured cell also validates the theorem: the protocol's
+    // trace upholds Save-work.
+    assert!(
+        check_save_work(&dc.trace).is_ok(),
+        "{p} violated Save-work: {:?}",
+        check_save_work(&dc.trace)
+    );
+    let (sim, apps) = build().into_parts();
+    let disk = DcHarness::new(sim, DcConfig::dc_disk(p), apps).run();
+    assert!(disk.all_done, "{p} on disk must complete");
+    Fig8Row {
+        protocol: p,
+        ckpts: dc.total_commits(),
+        dc_overhead_pct: overhead_pct(base_runtime, dc.runtime),
+        disk_overhead_pct: overhead_pct(base_runtime, disk.runtime),
+        runtimes: (base_runtime, dc.runtime, disk.runtime),
+        visibles: dc.visibles.len(),
+        arena: dc.arena,
+    }
+}
+
+/// Measures one protocol of a frame-rate grid. The client count dividing
+/// the fps metric comes from the scenario's own metadata, so any
+/// `xpilot_with(…)` shape reports correctly.
+pub fn fps_cell(build: &dyn Fn() -> Built, p: Protocol) -> Fig8FpsRow {
+    let b = build();
+    let clients = b.meta.clients;
+    assert!(clients > 0, "fps workloads must declare their client count");
+    let (sim, apps) = b.into_parts();
+    let dc = DcHarness::new(sim, DcConfig::discount_checking(p), apps).run();
+    assert!(
+        check_save_work(&dc.trace).is_ok(),
+        "{p} violated Save-work: {:?}",
+        check_save_work(&dc.trace)
+    );
+    let dc_fps = client_fps(&dc.visibles, dc.runtime, clients);
+    let ckps = dc.total_commits() as f64 / (dc.runtime as f64 / 1e9);
+    let (sim, apps) = build().into_parts();
+    let disk = DcHarness::new(sim, DcConfig::dc_disk(p), apps).run();
+    let disk_fps = client_fps(&disk.visibles, disk.runtime, clients);
+    Fig8FpsRow {
+        protocol: p,
+        ckpts: dc.total_commits(),
+        ckps_per_sec: ckps,
+        dc_fps,
+        disk_fps,
+        arena: dc.arena,
+    }
 }
 
 /// Runs the full grid for a runtime-overhead workload.
 pub fn overhead_grid(build: &dyn Fn() -> Built, protocols: &[Protocol]) -> Vec<Fig8Row> {
-    let (sim, mut apps) = build();
-    let base = run_plain_on(sim, &mut apps);
-    assert!(base.all_done, "baseline must complete");
-    let base_runtime = base.runtime;
+    let base_runtime = baseline_runtime(build);
     protocols
         .iter()
-        .map(|&p| {
-            let (sim, apps) = build();
-            let dc = DcHarness::new(sim, DcConfig::discount_checking(p), apps).run();
-            assert!(dc.all_done, "{p} on Rio must complete");
-            // Every measured cell also validates the theorem: the
-            // protocol's trace upholds Save-work.
-            assert!(
-                check_save_work(&dc.trace).is_ok(),
-                "{p} violated Save-work: {:?}",
-                check_save_work(&dc.trace)
-            );
-            let (sim, apps) = build();
-            let disk = DcHarness::new(sim, DcConfig::dc_disk(p), apps).run();
-            assert!(disk.all_done, "{p} on disk must complete");
-            Fig8Row {
-                protocol: p,
-                ckpts: dc.total_commits(),
-                dc_overhead_pct: overhead_pct(base_runtime, dc.runtime),
-                disk_overhead_pct: overhead_pct(base_runtime, disk.runtime),
-                runtimes: (base_runtime, dc.runtime, disk.runtime),
-                visibles: dc.visibles.len(),
-            }
-        })
+        .map(|&p| overhead_cell(build, base_runtime, p))
         .collect()
+}
+
+/// The sharded overhead grid: one cell per worker slot, merged in protocol
+/// order — bitwise identical to [`overhead_grid`] for any `threads`.
+pub fn overhead_grid_par(
+    build: &(dyn Fn() -> Built + Sync),
+    protocols: &[Protocol],
+    threads: usize,
+) -> Vec<Fig8Row> {
+    let base_runtime = baseline_runtime(build);
+    run_indexed(protocols.len(), threads, |i| {
+        overhead_cell(build, base_runtime, protocols[i])
+    })
 }
 
 /// Runs the full grid for the frame-rate workload. `frames` is the session
 /// length; fps = client frames rendered / wall time.
 pub fn fps_grid(build: &dyn Fn() -> Built, protocols: &[Protocol]) -> Vec<Fig8FpsRow> {
-    protocols
-        .iter()
-        .map(|&p| {
-            let (sim, apps) = build();
-            let dc = DcHarness::new(sim, DcConfig::discount_checking(p), apps).run();
-            assert!(
-                check_save_work(&dc.trace).is_ok(),
-                "{p} violated Save-work: {:?}",
-                check_save_work(&dc.trace)
-            );
-            let dc_fps = client_fps(&dc.visibles, dc.runtime);
-            let ckps = dc.total_commits() as f64 / (dc.runtime as f64 / 1e9);
-            let (sim, apps) = build();
-            let disk = DcHarness::new(sim, DcConfig::dc_disk(p), apps).run();
-            let disk_fps = client_fps(&disk.visibles, disk.runtime);
-            Fig8FpsRow {
-                protocol: p,
-                ckps_per_sec: ckps,
-                dc_fps,
-                disk_fps,
-            }
-        })
-        .collect()
+    protocols.iter().map(|&p| fps_cell(build, p)).collect()
 }
 
-fn client_fps(visibles: &[(SimTime, ProcessId, u64)], runtime: SimTime) -> f64 {
-    // Three clients render one visible per frame each.
-    let frames = visibles.len() as f64 / 3.0;
+/// The sharded frame-rate grid, bitwise identical to [`fps_grid`].
+pub fn fps_grid_par(
+    build: &(dyn Fn() -> Built + Sync),
+    protocols: &[Protocol],
+    threads: usize,
+) -> Vec<Fig8FpsRow> {
+    run_indexed(protocols.len(), threads, |i| fps_cell(build, protocols[i]))
+}
+
+fn client_fps(visibles: &[(SimTime, ProcessId, u64)], runtime: SimTime, clients: usize) -> f64 {
+    // Each client renders one visible per frame.
+    let frames = visibles.len() as f64 / clients as f64;
     frames / (runtime as f64 / 1e9)
 }
 
@@ -135,6 +191,20 @@ mod tests {
         // Overheads are small on Rio and larger on disk.
         assert!(cpvs.dc_overhead_pct < cpvs.disk_overhead_pct);
         assert!(cpvs.dc_overhead_pct >= 0.0);
+        // The arena side of the story: commits drain dirty pages.
+        assert_eq!(cpvs.arena.commits, cpvs.ckpts + 1, "plus initial snapshot");
+        assert!(cpvs.arena.committed_pages > 0);
+        assert!(cpvs.arena.traps >= cpvs.arena.committed_pages);
+    }
+
+    #[test]
+    fn parallel_grids_match_serial_for_any_thread_count() {
+        let build = || scenarios::nvi(5, 60);
+        let protos = [Protocol::Cpvs, Protocol::Cand, Protocol::CandLog];
+        let serial = overhead_grid(&build, &protos);
+        for threads in [2, 3, 8] {
+            assert_eq!(overhead_grid_par(&build, &protos, threads), serial);
+        }
     }
 
     #[test]
@@ -191,5 +261,19 @@ mod shape_tests {
             rows[0].ckps_per_sec
         );
         assert!(rows[0].dc_fps > 14.0);
+    }
+
+    #[test]
+    fn fps_uses_the_scenario_client_count() {
+        // A 2-client session renders 2 visibles per frame; dividing by the
+        // metadata's client count must land near the 15 fps budget just
+        // like the standard 3-client shape does.
+        let build = || scenarios::xpilot_with(3, 2, 30);
+        let rows = fps_grid(&build, &[Protocol::Cpvs]);
+        assert!(
+            rows[0].dc_fps > 13.0 && rows[0].dc_fps < 17.0,
+            "fps = {}",
+            rows[0].dc_fps
+        );
     }
 }

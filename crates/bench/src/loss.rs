@@ -50,7 +50,7 @@ pub fn run_rate(
     fabric_seed: u64,
     rate: f64,
 ) -> (SimTime, NetStats, u64) {
-    let (mut sim, apps) = build();
+    let (mut sim, apps) = build().into_parts();
     NetFaultSpec::lossy(fabric_seed, rate).install(&mut sim);
     let report = DcHarness::new(sim, DcConfig::discount_checking(protocol), apps).run();
     assert!(

@@ -14,8 +14,43 @@ use ft_sim::sim::{SimConfig, Simulator};
 use ft_sim::syscalls::App;
 use ft_sim::{MS, SEC};
 
+/// Shape metadata for a built scenario, carried alongside the simulator
+/// so measurement code derives workload facts (client counts, process
+/// counts) from the build instead of hardcoding them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioMeta {
+    /// Processes in the run.
+    pub processes: usize,
+    /// Interactive game clients whose rendered frames the fps metric
+    /// averages over. Zero for non-game workloads.
+    pub clients: usize,
+}
+
 /// A built scenario ready to run.
-pub type Built = (Simulator, Vec<Box<dyn App>>);
+pub struct Built {
+    /// The configured simulator (scripts, signals, topology installed).
+    pub sim: Simulator,
+    /// The application set, indexed by process id.
+    pub apps: Vec<Box<dyn App>>,
+    /// Shape metadata.
+    pub meta: ScenarioMeta,
+}
+
+impl Built {
+    /// Splits into the pieces a harness constructor wants.
+    pub fn into_parts(self) -> (Simulator, Vec<Box<dyn App>>) {
+        (self.sim, self.apps)
+    }
+}
+
+/// Wraps a simulator + app set as a non-game scenario (`clients == 0`).
+fn built(sim: Simulator, apps: Vec<Box<dyn App>>) -> Built {
+    let meta = ScenarioMeta {
+        processes: apps.len(),
+        clients: 0,
+    };
+    Built { sim, apps, meta }
+}
 
 /// The nvi session: `keys` keystrokes at 100 ms think time, with a couple
 /// of asynchronous signals (window resizes) over the session. Saves are
@@ -32,7 +67,7 @@ pub fn nvi(seed: u64, keys: usize) -> Built {
         ProcessId(0),
         SignalSchedule::new(vec![(span / 3, 28), (2 * span / 3, 28)]),
     );
-    (sim, vec![Box::new(Editor::new())])
+    built(sim, vec![Box::new(Editor::new())])
 }
 
 /// The nvi session for the §4 crash studies: non-interactive (fast input),
@@ -54,19 +89,19 @@ pub fn nvi_custom(seed: u64, keys: usize, think_ns: u64, plan: Option<FaultPlan>
     if let Some(p) = plan {
         app.faults = FaultInjector::armed(p, seed ^ 0xFA);
     }
-    (sim, vec![Box::new(app)])
+    built(sim, vec![Box::new(app)])
 }
 
 /// As [`nvi_custom`], but with the §2.6 crash-early consistency checks
 /// running at every step (the mitigation ablation).
 pub fn nvi_checked(seed: u64, keys: usize, think_ns: u64, plan: Option<FaultPlan>) -> Built {
-    let (sim, _) = nvi_custom(seed, keys, think_ns, plan);
+    let sim = nvi_custom(seed, keys, think_ns, plan).sim;
     let mut app = Editor::new();
     app.eager_checks = true;
     if let Some(p) = plan {
         app.faults = FaultInjector::armed(p, seed ^ 0xFA);
     }
-    (sim, vec![Box::new(app)])
+    built(sim, vec![Box::new(app)])
 }
 
 /// The magic session: `commands` layout commands at 1 s think time.
@@ -76,20 +111,31 @@ pub fn magic(seed: u64, commands: usize) -> Built {
         ProcessId(0),
         InputScript::think_time(SEC, cad_script(commands, seed ^ 0xCAD)),
     );
-    (sim, vec![Box::new(Cad::new())])
+    built(sim, vec![Box::new(Cad::new())])
 }
 
 /// The xpilot session: 4 processes on 4 nodes, `frames` frames at 15 fps.
 pub fn xpilot(seed: u64, frames: u64) -> Built {
-    let sim = Simulator::new(SimConfig::one_node_each(4, seed));
-    (sim, game::session(frames))
+    xpilot_with(seed, 3, frames)
+}
+
+/// An xpilot session with `clients` client processes (one node each, plus
+/// the server's): the fps metric divides by this count via the metadata.
+pub fn xpilot_with(seed: u64, clients: usize, frames: u64) -> Built {
+    let sim = Simulator::new(SimConfig::one_node_each(clients + 1, seed));
+    let apps = game::session_with(clients, frames);
+    let meta = ScenarioMeta {
+        processes: apps.len(),
+        clients,
+    };
+    Built { sim, apps, meta }
 }
 
 /// The TreadMarks Barnes-Hut run: 4 DSM nodes, `iterations` N-body steps,
 /// progress display every 50.
 pub fn treadmarks(seed: u64, iterations: u64) -> Built {
     let sim = Simulator::new(SimConfig::one_node_each(4, seed));
-    (sim, barnes_hut::cluster(iterations, 50))
+    built(sim, barnes_hut::cluster(iterations, 50))
 }
 
 /// The lock-based TreadMarks workload (beyond the paper's suite): a
@@ -98,7 +144,7 @@ pub fn treadmarks(seed: u64, iterations: u64) -> Built {
 /// profile.
 pub fn taskfarm(seed: u64, workers: u32) -> Built {
     let sim = Simulator::new(SimConfig::one_node_each(workers as usize + 1, seed));
-    (sim, ft_apps::taskfarm::farm(workers))
+    built(sim, ft_apps::taskfarm::farm(workers))
 }
 
 /// The postgres session: `requests` database requests at 50 ms spacing
@@ -118,5 +164,5 @@ pub fn postgres_faulty(seed: u64, requests: usize, plan: Option<FaultPlan>) -> B
     if let Some(p) = plan {
         app.faults = FaultInjector::armed(p, seed ^ 0xFB);
     }
-    (sim, vec![Box::new(app)])
+    built(sim, vec![Box::new(app)])
 }

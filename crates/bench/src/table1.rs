@@ -160,7 +160,7 @@ pub fn run_trial(app: Table1App, fault: FaultType, t: u32, seeds: SeedStream) ->
         sticky: false,
     };
     // Phase A: run under CPVS with no recovery; observe the crash.
-    let (sim, apps) = app.build(seed, Some(plan));
+    let (sim, apps) = app.build(seed, Some(plan)).into_parts();
     let mut cfg = DcConfig::discount_checking(Protocol::Cpvs);
     cfg.max_recoveries = 0;
     let report = DcHarness::new(sim, cfg, apps).run();
@@ -172,7 +172,7 @@ pub fn run_trial(app: Table1App, fault: FaultType, t: u32, seeds: SeedStream) ->
     if !crashed {
         if activated && report.all_done {
             // Did the fault silently corrupt the output?
-            let (sim, mut ref_apps) = app.build(seed, None);
+            let (sim, mut ref_apps) = app.build(seed, None).into_parts();
             let reference = run_plain_on(sim, &mut ref_apps);
             if report.visible_tokens()
                 != reference
@@ -196,7 +196,7 @@ pub fn run_trial(app: Table1App, fault: FaultType, t: u32, seeds: SeedStream) ->
     // Phase B: the end-to-end check — recover with the fault
     // suppressed (one-shot plans do not re-fire on replay) and test
     // completion.
-    let (sim, apps) = app.build(seed, Some(plan));
+    let (sim, apps) = app.build(seed, Some(plan)).into_parts();
     let cfg = DcConfig::discount_checking(Protocol::Cpvs);
     let recovered = DcHarness::new(sim, cfg, apps).run();
     let recovery_succeeded = recovered.all_done;

@@ -81,7 +81,7 @@ pub fn run_trial(app: Table1App, fault: FaultType, t: u32, seeds: SeedStream) ->
     let seed = seeds.seed(t as u64);
     let mut rng = SplitMix64::new(seed ^ 0x05FA);
     let inject_at = session_span(app) / 5 + rng.below(session_span(app) * 3 / 5);
-    let (mut sim, apps) = build_app(app, seed);
+    let (mut sim, apps) = build_app(app, seed).into_parts();
     let plan = KernelFaultPlan::for_type(fault, inject_at);
     let propagated = plan.inject(&mut sim, ProcessId(0), &mut rng);
     let report = DcHarness::new(sim, DcConfig::discount_checking(Protocol::Cpvs), apps).run();
@@ -174,7 +174,7 @@ mod tests {
         let mut failed = 0;
         for t in 0..6u64 {
             let seed = 500 + t * 13;
-            let (mut sim, apps) = build_app(Table1App::Nvi, seed);
+            let (mut sim, apps) = build_app(Table1App::Nvi, seed).into_parts();
             let inject_at = 50 * ft_sim::MS + t * 40 * ft_sim::MS;
             sim.kill_at(ProcessId(0), inject_at);
             let report =

@@ -5,7 +5,10 @@
 //! Table 1's early-exit trial count (the "stop after `target_crashes`"
 //! cutoff must be a deterministic trial index, not a scheduling race).
 
-use ft_bench::campaign::{run_campaign_par, run_campaign_serial, CampaignConfig};
+use ft_bench::campaign::{
+    run_campaign_par, run_campaign_serial, run_fig8_par, run_fig8_serial, CampaignConfig,
+    Fig8Config,
+};
 use ft_bench::loss::{loss_sweep, loss_sweep_par};
 use ft_bench::scenarios;
 use ft_bench::table1::{self, Table1App};
@@ -106,5 +109,27 @@ fn full_matrix_parallel_equals_serial() {
     let serial = run_campaign_serial(&cfg);
     for threads in THREAD_COUNTS {
         assert_eq!(run_campaign_par(&cfg, threads), serial, "{threads} threads");
+    }
+}
+
+/// The Figure 8 stage under the same contract: the sharded grids must be
+/// bitwise identical to the serial reference — including the arena's
+/// write-barrier counters now carried in every row — for any thread
+/// count.
+#[test]
+fn fig8_stage_parallel_equals_serial() {
+    let cfg = CampaignConfig {
+        fig8: Fig8Config {
+            seed: 7,
+            nvi_keys: 30,
+            treadmarks_iters: 6,
+            taskfarm_workers: 3,
+            xpilot_frames: 12,
+        },
+        ..CampaignConfig::default()
+    };
+    let serial = run_fig8_serial(&cfg);
+    for threads in THREAD_COUNTS {
+        assert_eq!(run_fig8_par(&cfg, threads), serial, "{threads} threads");
     }
 }

@@ -25,6 +25,7 @@ use ft_dc::harness::DcHarness;
 use ft_dc::state::DcConfig;
 
 const FIXTURE: &str = include_str!("fixtures/golden_trace_hashes.txt");
+const FIG8_FIXTURE: &str = include_str!("fixtures/golden_fig8_hashes.txt");
 
 /// The six workloads of the suite, at the sizes PR 1's transparency tests
 /// use, each run under CPVS.
@@ -42,15 +43,14 @@ fn workloads() -> Vec<Workload> {
 }
 
 fn measure(build: fn() -> Built) -> u64 {
-    let (sim, apps) = build();
+    let (sim, apps) = build().into_parts();
     let report = DcHarness::new(sim, DcConfig::discount_checking(Protocol::Cpvs), apps).run();
     assert!(report.all_done, "golden workload must complete");
     report_fingerprint(&report)
 }
 
-fn parse_fixture() -> Vec<(String, u64)> {
-    FIXTURE
-        .lines()
+fn parse_fixture_from(text: &str) -> Vec<(String, u64)> {
+    text.lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .map(|l| {
@@ -60,6 +60,10 @@ fn parse_fixture() -> Vec<(String, u64)> {
             (name.to_string(), hash)
         })
         .collect()
+}
+
+fn parse_fixture() -> Vec<(String, u64)> {
+    parse_fixture_from(FIXTURE)
 }
 
 #[test]
@@ -96,4 +100,100 @@ fn fixture_covers_all_six_workloads() {
             "postgres"
         ]
     );
+}
+
+// ---------------------------------------------------------------------
+// The Figure 8 fingerprints: the same gate, across protocols.
+
+/// The four Figure 8 workloads under two protocols each, recorded from
+/// the naive (pre-epoch/pool) write barrier. These pin that the O(1)
+/// commit arena rewrite changed no event stream: commit placement differs
+/// per protocol, so together the eight runs cover commits before
+/// visibles, after non-determinism, coordinated rounds, and the
+/// dependency-tracked variants.
+type Fig8Workload = (&'static str, Protocol, fn() -> Built);
+
+fn fig8_workloads() -> Vec<Fig8Workload> {
+    fn proto(name: &str) -> Protocol {
+        Protocol::FIGURE8
+            .into_iter()
+            .find(|p| p.to_string() == name)
+            .unwrap_or_else(|| panic!("unknown protocol {name}"))
+    }
+    type Build = fn() -> Built;
+    let builds: [(&str, Build); 4] = [
+        ("nvi", || scenarios::nvi(7, 40)),
+        ("treadmarks", || scenarios::treadmarks(7, 8)),
+        ("taskfarm", || scenarios::taskfarm(7, 3)),
+        ("xpilot", || scenarios::xpilot(7, 20)),
+    ];
+    parse_fixture_from(FIG8_FIXTURE)
+        .into_iter()
+        .map(|(key, _)| {
+            let (workload, pname) = key.split_once('@').expect("fixture key: workload@PROTOCOL");
+            let build = builds
+                .iter()
+                .find(|(n, _)| *n == workload)
+                .unwrap_or_else(|| panic!("unknown workload {workload}"))
+                .1;
+            (
+                match workload {
+                    "nvi" => "nvi",
+                    "treadmarks" => "treadmarks",
+                    "taskfarm" => "taskfarm",
+                    _ => "xpilot",
+                },
+                proto(pname),
+                build,
+            )
+        })
+        .collect()
+}
+
+fn measure_with(build: fn() -> Built, protocol: Protocol) -> u64 {
+    let (sim, apps) = build().into_parts();
+    let report = DcHarness::new(sim, DcConfig::discount_checking(protocol), apps).run();
+    assert!(report.all_done, "golden workload must complete");
+    report_fingerprint(&report)
+}
+
+#[test]
+fn fig8_traces_match_the_golden_fixture() {
+    let golden = parse_fixture_from(FIG8_FIXTURE);
+    let measured: Vec<(String, u64)> = fig8_workloads()
+        .into_iter()
+        .map(|(name, protocol, build)| {
+            (format!("{name}@{protocol}"), measure_with(build, protocol))
+        })
+        .collect();
+    let render = |rows: &[(String, u64)]| {
+        rows.iter()
+            .map(|(n, h)| format!("{n} 0x{h:016x}\n"))
+            .collect::<String>()
+    };
+    assert_eq!(
+        golden,
+        measured,
+        "golden Figure 8 fingerprints diverged.\nmeasured:\n{}",
+        render(&measured)
+    );
+}
+
+#[test]
+fn fig8_fixture_covers_all_four_workloads_twice() {
+    let names: Vec<String> = parse_fixture_from(FIG8_FIXTURE)
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+    assert_eq!(names.len(), 8, "two protocols per workload");
+    for w in ["nvi", "treadmarks", "taskfarm", "xpilot"] {
+        assert_eq!(
+            names
+                .iter()
+                .filter(|n| n.starts_with(&format!("{w}@")))
+                .count(),
+            2,
+            "{w}"
+        );
+    }
 }

@@ -22,7 +22,7 @@ use ft_sim::{MS, US};
 fn sweep(proto: Protocol, kills: std::ops::Range<u64>) {
     let reference = TaskFarm::reference_checksum();
     for k in kills {
-        let (mut sim, apps) = scenarios::taskfarm(9, 3);
+        let (mut sim, apps) = scenarios::taskfarm(9, 3).into_parts();
         // Round-robin the victim over the three workers AND the manager.
         let victim = ProcessId((k % 4) as u32);
         sim.kill_at(victim, k * 700 * US + MS);
@@ -74,7 +74,7 @@ fn identical_runs_are_bit_identical() {
     // Two identically-seeded executions must now produce identical
     // visible streams, runtimes, and commit counts.
     let run = || {
-        let (mut sim, apps) = scenarios::taskfarm(9, 3);
+        let (mut sim, apps) = scenarios::taskfarm(9, 3).into_parts();
         sim.kill_at(ProcessId(3), 3 * 700 * US + MS);
         let r = DcHarness::new(sim, DcConfig::discount_checking(Protocol::CbndvsLog), apps).run();
         (r.visibles.clone(), r.runtime, r.commits_per_proc.clone())
@@ -85,7 +85,7 @@ fn identical_runs_are_bit_identical() {
 #[test]
 fn taskfarm_survives_a_worker_and_manager_double_kill() {
     let reference = TaskFarm::reference_checksum();
-    let (mut sim, apps) = scenarios::taskfarm(9, 3);
+    let (mut sim, apps) = scenarios::taskfarm(9, 3).into_parts();
     sim.kill_at(ProcessId(1), 2 * MS);
     sim.kill_at(ProcessId(3), 9 * MS);
     let report = DcHarness::new(sim, DcConfig::discount_checking(Protocol::Cpvs), apps).run();
@@ -103,7 +103,7 @@ fn taskfarm_survives_a_manager_kill_under_every_protocol() {
     // protocol must bring the whole farm back.
     let reference = TaskFarm::reference_checksum();
     for proto in Protocol::FIGURE8 {
-        let (mut sim, apps) = scenarios::taskfarm(9, 3);
+        let (mut sim, apps) = scenarios::taskfarm(9, 3).into_parts();
         sim.kill_at(ProcessId(3), 3 * 700 * US + MS);
         let report = DcHarness::new(sim, DcConfig::discount_checking(proto), apps).run();
         assert!(report.all_done, "{proto}: manager kill not recovered");

@@ -20,9 +20,9 @@ fn zero_plan() -> NetFaultPlan {
 }
 
 fn assert_identical(build: &dyn Fn() -> Built, name: &str) {
-    let (sim, mut apps) = build();
+    let (sim, mut apps) = build().into_parts();
     let plain = run_plain_on(sim, &mut apps);
-    let (mut sim, mut apps) = build();
+    let (mut sim, mut apps) = build().into_parts();
     sim.install_net_fault_plan(zero_plan());
     let wired = run_plain_on(sim, &mut apps);
     assert_eq!(
@@ -54,7 +54,7 @@ fn zero_probability_plan_is_trace_invisible_on_every_workload() {
 #[test]
 fn zero_probability_plan_is_invisible_under_the_recovery_runtime() {
     let run = |plan: Option<NetFaultPlan>| {
-        let (mut sim, apps) = scenarios::taskfarm(7, 3);
+        let (mut sim, apps) = scenarios::taskfarm(7, 3).into_parts();
         if let Some(p) = plan {
             sim.install_net_fault_plan(p);
         }

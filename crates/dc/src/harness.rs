@@ -4,6 +4,7 @@
 
 use ft_core::event::ProcessId;
 use ft_core::trace::Trace;
+use ft_mem::arena::ArenaStats;
 use ft_mem::cost::COW_TRAP_NS;
 use ft_mem::mem::Mem;
 use ft_sim::cost::SimTime;
@@ -35,6 +36,10 @@ pub struct DcReport {
     /// Transport-layer counters (all zero unless a network fault plan was
     /// installed on the simulator).
     pub net: NetStats,
+    /// Write-barrier statistics summed over every process's arena: traps,
+    /// writes, commits/rollbacks, and cumulative committed pages/bytes —
+    /// the raw material of the Figure 8 cost story.
+    pub arena: ArenaStats,
     /// Number of failures that exhausted the recovery budget (the run
     /// could not be completed — a Lose-work casualty).
     pub abandoned: u32,
@@ -151,6 +156,10 @@ impl DcHarness {
             .map(|p| self.rt.state(ProcessId(p as u32)).stats.commits)
             .collect();
         let totals = self.rt.total_stats();
+        let mut arena = ArenaStats::default();
+        for p in 0..n {
+            arena.absorb(&self.rt.state(ProcessId(p as u32)).mem.arena.stats());
+        }
         let net = self.sim.net_stats();
         let runtime = self.sim.now();
         let (trace, visibles, _) = self.sim.finish();
@@ -162,6 +171,7 @@ impl DcHarness {
             commits_per_proc,
             totals,
             net,
+            arena,
             abandoned: self.abandoned,
         }
     }

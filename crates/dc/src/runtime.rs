@@ -7,7 +7,7 @@ use ft_sim::sim::{Simulator, SysCtx};
 use ft_sim::syscalls::Syscalls;
 
 use crate::state::{
-    decode_alloc, encode_alloc, CommittedState, DcConfig, DcStats, PendingNd, ProcState,
+    decode_alloc, encode_alloc_into, CommittedState, DcConfig, DcStats, PendingNd, ProcState,
 };
 
 /// The Discount Checking runtime for one computation: per-process state
@@ -87,7 +87,11 @@ impl DcRuntime {
         pending: Option<PendingNd>,
     ) -> SimTime {
         let st = &mut self.states[pid.index()];
-        let alloc_blob = encode_alloc(&st.mem.alloc);
+        // Recycle the outgoing snapshot's blob allocation: commits happen
+        // once per interposition point under the chatty protocols, so this
+        // keeps the checkpoint path allocation-free after warm-up.
+        let mut alloc_blob = std::mem::take(&mut st.committed.alloc_blob);
+        encode_alloc_into(&st.mem.alloc, &mut alloc_blob);
         let mut rec = st.mem.arena.commit();
         // Register file + runtime control block alongside the pages.
         rec.register_bytes = alloc_blob.len() + 128;

@@ -168,6 +168,14 @@ pub fn encode_alloc(alloc: &ft_mem::alloc::Allocator) -> Vec<u8> {
     alloc.to_bytes()
 }
 
+/// Serializes the allocator into a recycled buffer — the per-commit hot
+/// path reuses the previous snapshot's blob allocation instead of making
+/// a fresh one per checkpoint.
+pub fn encode_alloc_into(alloc: &ft_mem::alloc::Allocator, out: &mut Vec<u8>) {
+    out.clear();
+    alloc.to_bytes_into(out);
+}
+
 /// Deserializes a committed allocator blob.
 pub fn decode_alloc(blob: &[u8]) -> ft_mem::alloc::Allocator {
     ft_mem::alloc::Allocator::from_bytes(blob).expect("committed allocator blob is well-formed")

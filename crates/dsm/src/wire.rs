@@ -72,6 +72,17 @@ pub(crate) fn put_blob(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(bytes);
 }
 
+/// Exact encoded size of a diff vector, so the encode helpers allocate
+/// their payload buffer once instead of doubling through `Vec` growth on
+/// the per-message hot path (the arena write barrier's allocation-free
+/// discipline, applied one layer up).
+fn diffs_encoded_len(diffs: &[PageDiff]) -> usize {
+    4 + diffs
+        .iter()
+        .map(|d| 8 + d.runs.iter().map(|(_, run)| 8 + run.len()).sum::<usize>())
+        .sum::<usize>()
+}
+
 fn encode_diffs_into(out: &mut Vec<u8>, diffs: &[PageDiff]) {
     out.extend_from_slice(&(diffs.len() as u32).to_le_bytes());
     for d in diffs {
@@ -102,7 +113,7 @@ fn decode_diffs_from(r: &mut Reader) -> MemResult<Vec<PageDiff>> {
 
 /// Encodes a bare diff vector (lock release / grant payloads).
 pub(crate) fn encode_diffs(diffs: &[PageDiff]) -> Vec<u8> {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(diffs_encoded_len(diffs));
     encode_diffs_into(&mut out, diffs);
     out
 }
@@ -117,7 +128,7 @@ pub(crate) fn decode_diffs(payload: &[u8]) -> MemResult<Vec<PageDiff>> {
 
 /// Encodes a barrier diff message.
 pub(crate) fn encode_diff_msg(msg: &DiffMsg) -> Vec<u8> {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(12 + diffs_encoded_len(&msg.diffs));
     out.extend_from_slice(&msg.round.to_le_bytes());
     out.extend_from_slice(&msg.from.to_le_bytes());
     encode_diffs_into(&mut out, &msg.diffs);
@@ -157,6 +168,30 @@ mod tests {
         let bytes = encode_diff_msg(&msg);
         let back = decode_diff_msg(&bytes).unwrap();
         assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn encoded_len_prediction_is_exact() {
+        let diffs = vec![
+            PageDiff {
+                page: 3,
+                runs: vec![(0, vec![7; 5]), (100, vec![])],
+            },
+            PageDiff {
+                page: 9,
+                runs: vec![],
+            },
+        ];
+        assert_eq!(diffs_encoded_len(&diffs), encode_diffs(&diffs).len());
+        let msg = DiffMsg {
+            round: 1,
+            from: 0,
+            diffs,
+        };
+        assert_eq!(
+            12 + diffs_encoded_len(&msg.diffs),
+            encode_diff_msg(&msg).len()
+        );
     }
 
     #[test]

@@ -194,7 +194,16 @@ impl Allocator {
     /// form the checkpointing runtime stores in its register/control block
     /// at commit time.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(40 + 16 * (self.free.len() + self.live.len()));
+        let mut out = Vec::new();
+        self.to_bytes_into(&mut out);
+        out
+    }
+
+    /// As [`Allocator::to_bytes`], but appends into a caller-provided
+    /// buffer so the per-commit hot path can recycle one allocation
+    /// instead of making a fresh one per checkpoint.
+    pub fn to_bytes_into(&self, out: &mut Vec<u8>) {
+        out.reserve(40 + 16 * (self.free.len() + self.live.len()));
         let word = |v: usize| (v as u64).to_le_bytes();
         out.extend_from_slice(&word(self.heap_start));
         out.extend_from_slice(&word(self.heap_end));
@@ -209,7 +218,6 @@ impl Allocator {
             out.extend_from_slice(&word(a.data_off));
             out.extend_from_slice(&word(a.size));
         }
-        out
     }
 
     /// Reconstructs an allocator from [`Allocator::to_bytes`] output.
@@ -357,6 +365,23 @@ mod tests {
             alloc.alloc(&mut arena, 24).unwrap();
         }
         assert!(alloc.check_integrity(&arena).is_ok());
+    }
+
+    #[test]
+    fn to_bytes_into_appends_and_matches_to_bytes() {
+        let (mut arena, mut alloc) = setup();
+        let a = alloc.alloc(&mut arena, 48).unwrap();
+        alloc.alloc(&mut arena, 16).unwrap();
+        alloc.free(&arena, a).unwrap();
+        let fresh = alloc.to_bytes();
+        let mut reused = vec![0xEE; 7];
+        reused.clear();
+        alloc.to_bytes_into(&mut reused);
+        assert_eq!(reused, fresh);
+        assert_eq!(
+            Allocator::from_bytes(&reused).unwrap().live_count(),
+            alloc.live_count()
+        );
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! checkpoint time", paying seek/rotation latency plus transfer. Constants
 //! are calibrated to the paper's 1998-era testbed (IBM Ultrastar SCSI disk,
 //! 100 MHz SDRAM) so that Figure 8's overhead *shape* is reproduced.
+//!
+//! **Invariant:** every cost here is a pure function of the
+//! [`CommitRecord`] (and the constants below) — never of how the host
+//! implements the write barrier. The epoch/pool arena rewrite made traps
+//! and commits cheaper in *wall-clock* while the `CommitRecord`s it emits,
+//! and therefore every simulated time in every trace and table, are
+//! bitwise identical to the naive implementation's.
 
 use crate::arena::CommitRecord;
 
@@ -188,6 +195,19 @@ mod tests {
         let d = Medium::dc_disk();
         let rc = rec(5, 128);
         assert!(d.commit_cost(&rc) / r.commit_cost(&rc).max(1) > 50);
+    }
+
+    #[test]
+    fn costs_are_pure_in_the_commit_record() {
+        // The simulated cost model must not observe anything beyond the
+        // record — equal records (however the arena produced them) price
+        // identically on both media, pinning that host-side optimizations
+        // cannot shift simulated time.
+        let a = rec(7, 96);
+        let b = CommitRecord { ..a };
+        for m in [Medium::discount_checking(), Medium::dc_disk()] {
+            assert_eq!(m.commit_cost(&a), m.commit_cost(&b));
+        }
     }
 
     #[test]

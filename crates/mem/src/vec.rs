@@ -136,12 +136,12 @@ impl<T: Pod> ArenaVec<T> {
         if self.len == self.cap {
             self.grow(arena, alloc, self.cap * 2)?;
         }
-        // Shift [i, len) right by one element.
+        // Shift [i, len) right by one element — a single in-arena memmove,
+        // no intermediate buffer.
         let src = self.element_offset(i);
         let count = (self.len - i) * T::SIZE;
         if count > 0 {
-            let bytes = arena.read(src, count)?.to_vec();
-            arena.write(src + T::SIZE, &bytes)?;
+            arena.copy_within(src, src + T::SIZE, count)?;
         }
         self.len += 1;
         self.set(arena, i, value)
@@ -157,8 +157,7 @@ impl<T: Pod> ArenaVec<T> {
         let src = self.element_offset(i + 1);
         let count = (self.len - i - 1) * T::SIZE;
         if count > 0 {
-            let bytes = arena.read(src, count)?.to_vec();
-            arena.write(self.element_offset(i), &bytes)?;
+            arena.copy_within(src, self.element_offset(i), count)?;
         }
         self.len -= 1;
         Ok(v)
@@ -196,8 +195,7 @@ impl<T: Pod> ArenaVec<T> {
 
     fn grow(&mut self, arena: &mut Arena, alloc: &mut Allocator, new_cap: usize) -> MemResult<()> {
         let new_off = alloc.alloc(arena, new_cap * T::SIZE)?;
-        let bytes = arena.read(self.data_off, self.len * T::SIZE)?.to_vec();
-        arena.write(new_off, &bytes)?;
+        arena.copy_within(self.data_off, new_off, self.len * T::SIZE)?;
         alloc.free(arena, self.data_off)?;
         self.data_off = new_off;
         self.cap = new_cap;

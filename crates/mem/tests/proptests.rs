@@ -232,3 +232,207 @@ fn allocator_bytes_roundtrip() {
         assert!(Allocator::from_bytes(&blob[..blob.len() - 1]).is_none());
     }
 }
+
+// ---------------------------------------------------------------------
+// The optimized arena vs. its naive executable specification.
+
+/// FNV-1a constants (shared with the arena's checksum).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The pre-optimization arena, kept as an executable spec: per-page
+/// `Vec<bool>` dirty flags cleared wholesale at every commit/rollback, a
+/// fresh heap `to_vec()` before-image on every trap, and no buffer reuse
+/// anywhere. The epoch/pool arena must be observationally identical to
+/// this — contents, statistics, commit records, and checksums.
+struct NaiveArena {
+    data: Vec<u8>,
+    dirty: Vec<bool>,
+    undo: Vec<(usize, Vec<u8>)>,
+    stats: ft_mem::arena::ArenaStats,
+}
+
+impl NaiveArena {
+    fn new(layout: Layout) -> Self {
+        let pages = layout.total_pages();
+        NaiveArena {
+            data: vec![0; pages * PAGE_SIZE],
+            dirty: vec![false; pages],
+            undo: Vec::new(),
+            stats: ft_mem::arena::ArenaStats::default(),
+        }
+    }
+
+    fn in_bounds(&self, offset: usize, len: usize) -> bool {
+        offset
+            .checked_add(len)
+            .is_some_and(|end| end <= self.data.len())
+    }
+
+    fn trap_range(&mut self, offset: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            if !self.dirty[page] {
+                self.dirty[page] = true;
+                self.stats.traps += 1;
+                let start = page * PAGE_SIZE;
+                self.undo
+                    .push((page, self.data[start..start + PAGE_SIZE].to_vec()));
+            }
+        }
+    }
+
+    fn write(&mut self, offset: usize, bytes: &[u8]) -> bool {
+        if !self.in_bounds(offset, bytes.len()) {
+            return false;
+        }
+        self.trap_range(offset, bytes.len());
+        self.stats.writes += 1;
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        true
+    }
+
+    fn fill(&mut self, offset: usize, len: usize, byte: u8) -> bool {
+        if !self.in_bounds(offset, len) {
+            return false;
+        }
+        self.trap_range(offset, len);
+        self.stats.writes += 1;
+        self.data[offset..offset + len].fill(byte);
+        true
+    }
+
+    fn copy_within(&mut self, src: usize, dst: usize, len: usize) -> bool {
+        if !self.in_bounds(src, len) || !self.in_bounds(dst, len) {
+            return false;
+        }
+        self.trap_range(dst, len);
+        self.stats.writes += 1;
+        self.data.copy_within(src..src + len, dst);
+        true
+    }
+
+    fn commit(&mut self) -> (usize, usize, usize) {
+        let dirty_pages = self.undo.len();
+        self.undo.clear();
+        self.dirty.fill(false);
+        self.stats.commits += 1;
+        self.stats.committed_pages += dirty_pages as u64;
+        self.stats.committed_bytes += (dirty_pages * PAGE_SIZE) as u64;
+        (dirty_pages, dirty_pages * PAGE_SIZE, 0)
+    }
+
+    fn rollback(&mut self) -> usize {
+        let n = self.undo.len();
+        while let Some((page, image)) = self.undo.pop() {
+            let start = page * PAGE_SIZE;
+            self.data[start..start + PAGE_SIZE].copy_from_slice(&image);
+        }
+        self.dirty.fill(false);
+        self.stats.rollbacks += 1;
+        n
+    }
+
+    /// The checksum spec, written as a plain indexed loop: eight
+    /// little-endian bytes per multiply, then the byte tail.
+    fn checksum(&self, offset: usize, len: usize) -> Option<u64> {
+        if !self.in_bounds(offset, len) {
+            return None;
+        }
+        let bytes = &self.data[offset..offset + len];
+        let mut h = FNV_OFFSET;
+        let mut i = 0;
+        while i + 8 <= len {
+            let mut w = 0u64;
+            for (shift, &b) in bytes[i..i + 8].iter().enumerate() {
+                w |= (b as u64) << (8 * shift);
+            }
+            h = (h ^ w).wrapping_mul(FNV_PRIME);
+            i += 8;
+        }
+        for &b in &bytes[i..] {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        Some(h)
+    }
+}
+
+/// The epoch/pool arena is observationally identical to the naive
+/// reference under long random schedules of writes, fills, overlapping
+/// copies, commits, rollbacks, and checksums — same contents, same
+/// statistics, same commit records, same checksums, including on
+/// out-of-bounds operations (both sides reject).
+#[test]
+fn optimized_arena_matches_naive_reference() {
+    let layout = Layout {
+        globals_pages: 3,
+        stack_pages: 2,
+        heap_pages: 7,
+    };
+    let size = layout.total_pages() * PAGE_SIZE;
+    let mut seeds = Rng(0x0EF0_CACE);
+    for _ in 0..8 {
+        let mut rng = Rng(seeds.next_u64());
+        let mut fast = Arena::new(layout);
+        let mut naive = NaiveArena::new(layout);
+        for _ in 0..1024 {
+            // Offsets occasionally run past the end so the bounds checks
+            // are part of the equivalence.
+            let off = rng.below(size as u64 + 64) as usize;
+            match rng.below(10) {
+                0..=2 => {
+                    let len = rng.below(3 * PAGE_SIZE as u64) as usize;
+                    let bytes: Vec<u8> = (0..len).map(|i| (i as u8) ^ rng.0 as u8).collect();
+                    assert_eq!(fast.write(off, &bytes).is_ok(), naive.write(off, &bytes));
+                }
+                3 => {
+                    let len = rng.below(2 * PAGE_SIZE as u64) as usize;
+                    let b = rng.next_u64() as u8;
+                    assert_eq!(fast.fill(off, len, b).is_ok(), naive.fill(off, len, b));
+                }
+                4 => {
+                    let v = rng.next_u64();
+                    assert_eq!(
+                        fast.write_pod(off, v).is_ok(),
+                        naive.write(off, &v.to_le_bytes())
+                    );
+                }
+                5 => {
+                    let dst = rng.below(size as u64 + 64) as usize;
+                    let len = rng.below(2 * PAGE_SIZE as u64) as usize;
+                    assert_eq!(
+                        fast.copy_within(off, dst, len).is_ok(),
+                        naive.copy_within(off, dst, len)
+                    );
+                }
+                6 => {
+                    let len = rng.below(600) as usize;
+                    assert_eq!(fast.checksum(off, len).ok(), naive.checksum(off, len));
+                }
+                7 => {
+                    let rec = fast.commit();
+                    assert_eq!(
+                        (rec.dirty_pages, rec.dirty_bytes, rec.register_bytes),
+                        naive.commit()
+                    );
+                }
+                8 => {
+                    assert_eq!(fast.rollback(), naive.rollback());
+                }
+                _ => {
+                    assert_eq!(fast.dirty_page_count(), naive.undo.len());
+                }
+            }
+            assert_eq!(fast.stats(), naive.stats);
+        }
+        assert_eq!(fast.read(0, size).unwrap(), &naive.data[..]);
+        assert_eq!(
+            fast.checksum(0, size).unwrap(),
+            naive.checksum(0, size).unwrap()
+        );
+    }
+}

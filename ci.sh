@@ -17,4 +17,12 @@ for f in BENCH_table1.json BENCH_table2.json BENCH_loss.json BENCH_fig8.json; do
   [[ -s "$f" ]] || { echo "ci: missing $f" >&2; exit 1; }
 done
 
+# Model-checker smoke: exhaust every crash point (including mid-commit
+# sub-steps) of small nvi and taskfarm workloads under all seven
+# protocols, asserting serial/sharded exploration equivalence. The binary
+# exits nonzero on any invariant violation, after shrinking it and
+# writing check_counterexample.txt.
+cargo run --release -q -p ft-check --bin check -- --smoke --threads 4 --out BENCH_check.json
+[[ -s BENCH_check.json ]] || { echo "ci: missing BENCH_check.json" >&2; exit 1; }
+
 echo "ci: all green"

@@ -105,12 +105,12 @@ fn fixture_covers_all_six_workloads() {
 // ---------------------------------------------------------------------
 // The Figure 8 fingerprints: the same gate, across protocols.
 
-/// The four Figure 8 workloads under two protocols each, recorded from
-/// the naive (pre-epoch/pool) write barrier. These pin that the O(1)
-/// commit arena rewrite changed no event stream: commit placement differs
-/// per protocol, so together the eight runs cover commits before
-/// visibles, after non-determinism, coordinated rounds, and the
-/// dependency-tracked variants.
+/// The four Figure 8 workloads under all seven protocols: every
+/// commit-placement discipline — commits before visibles, after
+/// non-determinism, coordinated rounds, and the dependency-tracked
+/// variants — is fingerprint-pinned on every workload. (The original
+/// eight entries were recorded from the naive pre-epoch/pool write
+/// barrier and carried over unchanged.)
 type Fig8Workload = (&'static str, Protocol, fn() -> Built);
 
 fn fig8_workloads() -> Vec<Fig8Workload> {
@@ -180,20 +180,16 @@ fn fig8_traces_match_the_golden_fixture() {
 }
 
 #[test]
-fn fig8_fixture_covers_all_four_workloads_twice() {
+fn fig8_fixture_covers_the_full_workload_by_protocol_matrix() {
     let names: Vec<String> = parse_fixture_from(FIG8_FIXTURE)
         .into_iter()
         .map(|(n, _)| n)
         .collect();
-    assert_eq!(names.len(), 8, "two protocols per workload");
+    assert_eq!(names.len(), 28, "all seven protocols per workload");
     for w in ["nvi", "treadmarks", "taskfarm", "xpilot"] {
-        assert_eq!(
-            names
-                .iter()
-                .filter(|n| n.starts_with(&format!("{w}@")))
-                .count(),
-            2,
-            "{w}"
-        );
+        for p in Protocol::FIGURE8 {
+            let key = format!("{w}@{p}");
+            assert!(names.contains(&key), "fixture is missing {key}");
+        }
     }
 }

@@ -1,0 +1,113 @@
+//! Workload specifications the checker can rebuild at any size.
+//!
+//! The model checker re-executes a scenario hundreds of times — once per
+//! crash point — and the shrinker re-executes whole explorations at
+//! smaller sizes. Both need a *recipe*, not a built simulator, so a
+//! [`Workload`] names one of the `ft-bench` scenario families together
+//! with its seed and a size parameter (keys, workers, iterations, frames)
+//! that the shrinker may lower.
+
+use ft_bench::scenarios::{self, Built};
+use ft_core::protocol::Protocol;
+use ft_dc::{CommitKill, DcConfig};
+
+/// A rebuildable workload: scenario family + seed + size knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Scenario family: `"nvi"`, `"taskfarm"`, `"treadmarks"`, or
+    /// `"xpilot"`.
+    pub name: &'static str,
+    /// Deterministic seed for all scripted inputs.
+    pub seed: u64,
+    /// Family-specific size (nvi keys, taskfarm workers, treadmarks
+    /// iterations, xpilot frames). The shrinker lowers this.
+    pub size: usize,
+}
+
+impl Workload {
+    /// The four checkable scenario families.
+    pub const FAMILIES: [&'static str; 4] = ["nvi", "taskfarm", "treadmarks", "xpilot"];
+
+    /// Builds the scenario at an explicit size (the shrinker's entry
+    /// point; use `self.size` for the configured size).
+    pub fn build(&self, size: usize) -> Built {
+        match self.name {
+            "nvi" => scenarios::nvi(self.seed, size),
+            "taskfarm" => scenarios::taskfarm(self.seed, size as u32),
+            "treadmarks" => scenarios::treadmarks(self.seed, size as u64),
+            "xpilot" => scenarios::xpilot(self.seed, size as u64),
+            other => panic!("unknown workload family {other:?}"),
+        }
+    }
+
+    /// The smallest size at which the family still runs a meaningful
+    /// protocol exchange (shrinking never goes below this).
+    pub fn min_size(&self) -> usize {
+        1
+    }
+}
+
+/// Checker configuration: which protocol to verify and how to explore.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// The recovery protocol under test.
+    pub protocol: Protocol,
+    /// Worker threads for the sharded exploration (`1` = serial
+    /// reference path).
+    pub threads: usize,
+    /// **Mutation switch** for the checker's self-test: skip the
+    /// commit-prior-to-send, deliberately breaking Save-work. Must stay
+    /// `false` outside mutation tests.
+    pub skip_presend_commit: bool,
+}
+
+impl CheckConfig {
+    /// A serial checker for `protocol` with the mutation off.
+    pub fn new(protocol: Protocol) -> Self {
+        CheckConfig {
+            protocol,
+            threads: 1,
+            skip_presend_commit: false,
+        }
+    }
+
+    /// The `DcConfig` for one run, with an optional mid-commit kill.
+    pub fn dc_config(&self, kill: Option<CommitKill>) -> DcConfig {
+        let mut cfg = DcConfig::discount_checking(self.protocol);
+        cfg.commit_kill = kill;
+        cfg.skip_presend_commit = self.skip_presend_commit;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build_at_size_one() {
+        for name in Workload::FAMILIES {
+            let w = Workload {
+                name,
+                seed: 7,
+                size: 1,
+            };
+            let built = w.build(w.size);
+            assert!(built.meta.processes >= 1, "{name} built no processes");
+        }
+    }
+
+    #[test]
+    fn dc_config_carries_the_kill() {
+        use ft_mem::arena::CommitCrashPoint;
+        let cfg = CheckConfig::new(Protocol::Cpvs);
+        let kill = CommitKill {
+            pid: 1,
+            nth: 2,
+            point: CommitCrashPoint::MidUndoWalk,
+        };
+        let dc = cfg.dc_config(Some(kill));
+        assert_eq!(dc.commit_kill, Some(kill));
+        assert!(!dc.skip_presend_commit);
+    }
+}

@@ -1,0 +1,31 @@
+//! Serial/sharded equivalence: the exploration must be a pure function
+//! of the schedule space, never of thread scheduling. `run_indexed`
+//! returns index-ordered results and every run is deterministic, so the
+//! whole `Exploration` — points, fingerprints, verdicts — is asserted
+//! bitwise-identical across thread counts, including a count above the
+//! point total.
+
+use ft_check::explore::{canonical_run, enumerate_points, explore_points};
+use ft_check::scenario::{CheckConfig, Workload};
+use ft_core::protocol::Protocol;
+
+#[test]
+fn exploration_is_identical_across_thread_counts() {
+    let w = Workload {
+        name: "taskfarm",
+        seed: 7,
+        size: 1,
+    };
+    let cfg = CheckConfig::new(Protocol::CandLog);
+    let canonical = canonical_run(&w, w.size, &cfg);
+    let points = enumerate_points(&canonical);
+    let serial = explore_points(&w, w.size, &cfg, &canonical, &points, 1);
+    for threads in [2, 4, 7, points.len() + 5] {
+        let sharded = explore_points(&w, w.size, &cfg, &canonical, &points, threads);
+        assert_eq!(
+            serial.results, sharded.results,
+            "threads={threads} diverged from the serial reference"
+        );
+        assert_eq!(serial.unique_fingerprints, sharded.unique_fingerprints);
+    }
+}

@@ -1,0 +1,214 @@
+//! Property tests for `VectorClock` at the inline→heap spill boundary.
+//!
+//! The clock stores up to four components inline and spills to a heap
+//! vector at five. These tests drive identical operation sequences
+//! through the real clock and a `Vec`-backed reference implementation at
+//! 3, 4 (last inline size), 5 (first spilled size), and 6 processes, and
+//! assert the two agree on components, ordering (`le`/`concurrent`/
+//! `happens_before`-style comparisons), merges, equality after divergent
+//! construction orders, and `Debug` output — the last byte-for-byte,
+//! because trace fingerprints hash it.
+
+use ft_core::clock as real;
+use ft_core::event::ProcessId;
+
+/// SplitMix64 (self-contained; ft-core is the bottom crate).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// The old representation, kept here as the executable specification.
+/// Deliberately named `VectorClock` so the *derived* `Debug` prints the
+/// exact text the real clock's hand-written `Debug` must reproduce.
+mod reference {
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct VectorClock {
+        components: Vec<u64>,
+    }
+
+    impl VectorClock {
+        pub fn new(n: usize) -> Self {
+            VectorClock {
+                components: vec![0; n],
+            }
+        }
+
+        pub fn tick(&mut self, p: usize) -> u64 {
+            self.components[p] += 1;
+            self.components[p]
+        }
+
+        pub fn join(&mut self, other: &VectorClock) {
+            assert_eq!(self.components.len(), other.components.len());
+            for (a, b) in self.components.iter_mut().zip(&other.components) {
+                *a = (*a).max(*b);
+            }
+        }
+
+        pub fn le(&self, other: &VectorClock) -> bool {
+            self.components.len() == other.components.len()
+                && self
+                    .components
+                    .iter()
+                    .zip(&other.components)
+                    .all(|(a, b)| a <= b)
+        }
+
+        pub fn concurrent(&self, other: &VectorClock) -> bool {
+            !self.le(other) && !other.le(self)
+        }
+
+        pub fn components(&self) -> &[u64] {
+            &self.components
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Tick clock `c`'s component `p`.
+    Tick { c: usize, p: usize },
+    /// Join clock `b` into clock `a` (skipped when `a == b`).
+    Join { a: usize, b: usize },
+    /// Replace clock `a` with a clone of clock `b`.
+    Clone { a: usize, b: usize },
+}
+
+const POOL: usize = 5;
+
+fn random_op(rng: &mut Rng, n: usize) -> Op {
+    match rng.below(4) {
+        0 | 1 => Op::Tick {
+            c: rng.below(POOL as u64) as usize,
+            p: rng.below(n as u64) as usize,
+        },
+        2 => Op::Join {
+            a: rng.below(POOL as u64) as usize,
+            b: rng.below(POOL as u64) as usize,
+        },
+        _ => Op::Clone {
+            a: rng.below(POOL as u64) as usize,
+            b: rng.below(POOL as u64) as usize,
+        },
+    }
+}
+
+fn check_agreement(n: usize, seed: u64) {
+    let mut rng = Rng(seed);
+    let mut real_pool: Vec<real::VectorClock> =
+        (0..POOL).map(|_| real::VectorClock::new(n)).collect();
+    let mut ref_pool: Vec<reference::VectorClock> =
+        (0..POOL).map(|_| reference::VectorClock::new(n)).collect();
+    for step in 0..300 {
+        match random_op(&mut rng, n) {
+            Op::Tick { c, p } => {
+                let got = real_pool[c].tick(ProcessId(p as u32));
+                let want = ref_pool[c].tick(p);
+                assert_eq!(got, want, "n={n} step={step}: tick return value");
+            }
+            Op::Join { a, b } if a != b => {
+                let (src_real, src_ref) = (real_pool[b].clone(), ref_pool[b].clone());
+                real_pool[a].join(&src_real);
+                ref_pool[a].join(&src_ref);
+            }
+            Op::Join { .. } => {}
+            Op::Clone { a, b } => {
+                real_pool[a] = real_pool[b].clone();
+                ref_pool[a] = ref_pool[b].clone();
+            }
+        }
+        for i in 0..POOL {
+            assert_eq!(
+                real_pool[i].components(),
+                ref_pool[i].components(),
+                "n={n} step={step}: clock {i} components"
+            );
+            assert_eq!(
+                format!("{:?}", real_pool[i]),
+                format!("{:?}", ref_pool[i]),
+                "n={n} step={step}: Debug output diverged from the Vec derive"
+            );
+            for j in 0..POOL {
+                assert_eq!(
+                    real_pool[i].le(&real_pool[j]),
+                    ref_pool[i].le(&ref_pool[j]),
+                    "n={n} step={step}: le({i},{j})"
+                );
+                assert_eq!(
+                    real_pool[i].concurrent(&real_pool[j]),
+                    ref_pool[i].concurrent(&ref_pool[j]),
+                    "n={n} step={step}: concurrent({i},{j})"
+                );
+                // Equality must be structural regardless of history
+                // (spill vs inline cannot leak into Eq/Hash).
+                assert_eq!(
+                    real_pool[i] == real_pool[j],
+                    ref_pool[i] == ref_pool[j],
+                    "n={n} step={step}: eq({i},{j})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn real_clock_matches_the_vec_reference_across_the_spill_boundary() {
+    let mut seeds = Rng(0xC10C_5EED);
+    for n in [3, 4, 5, 6] {
+        for _ in 0..8 {
+            check_agreement(n, seeds.next_u64());
+        }
+    }
+}
+
+#[test]
+fn four_and_five_process_clocks_straddle_the_boundary_identically() {
+    // The same logical history at n=4 (all inline) and n=5 (spilled,
+    // last component unused) must order identically on the shared
+    // prefix: the representation change cannot perturb the relation.
+    for extra in [0usize, 1] {
+        let n = 4 + extra;
+        let mut send = real::VectorClock::new(n);
+        send.tick(ProcessId(0));
+        let mut recv = real::VectorClock::new(n);
+        recv.tick(ProcessId(3));
+        recv.join(&send);
+        assert!(send.le(&recv));
+        assert!(!recv.le(&send));
+        assert!(real::happens_before(
+            ProcessId(0),
+            &send,
+            ProcessId(3),
+            &recv
+        ));
+        let mut lone = real::VectorClock::new(n);
+        lone.tick(ProcessId(1));
+        assert!(send.concurrent(&lone));
+    }
+}
+
+#[test]
+fn debug_is_bit_identical_at_both_sides_of_the_boundary() {
+    for n in [4usize, 5] {
+        let mut c = real::VectorClock::new(n);
+        c.tick(ProcessId(0));
+        c.tick(ProcessId(n as u32 - 1));
+        let mut r = reference::VectorClock::new(n);
+        r.tick(0);
+        r.tick(n - 1);
+        assert_eq!(format!("{c:?}"), format!("{r:?}"));
+        assert_eq!(format!("{c:#?}"), format!("{r:#?}"));
+    }
+}

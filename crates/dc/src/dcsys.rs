@@ -143,7 +143,7 @@ impl Syscalls for DcSys<'_, '_> {
             .state_mut(pid)
             .planner
             .decide(InterceptedEvent::Send);
-        if d.before == CommitScope::Local {
+        if d.before == CommitScope::Local && !self.rt.cfg().skip_presend_commit {
             self.rt.local_commit(self.ctx, None);
         }
         let st = self.rt.state(pid);

@@ -31,6 +31,12 @@ pub struct DcReport {
     pub all_done: bool,
     /// Per-process commit counts.
     pub commits_per_proc: Vec<u64>,
+    /// Per-process commit-*point* counts: how many kill-eligible commit
+    /// points (local commits plus coordinated rounds the process itself
+    /// coordinated) the run passed through. This is the enumeration domain
+    /// for the model checker's mid-commit crash schedule; unlike
+    /// `commits_per_proc` it is monotonic and never rolled back.
+    pub commit_points_per_proc: Vec<u64>,
     /// Aggregate runtime statistics.
     pub totals: DcStats,
     /// Transport-layer counters (all zero unless a network fault plan was
@@ -93,11 +99,24 @@ impl DcHarness {
         let mut sys = DcSys::new(&mut ctx, &mut self.rt);
         let st = self.apps[p].step(&mut sys);
         let mut el = ctx.elapsed();
+        let killed = ctx.step_killed();
         drop(ctx);
         // Each first-touch of a clean page cost a protection trap.
         let traps = self.rt.state(pid).mem.arena.stats().traps;
         el += (traps - self.last_traps[p]) * COW_TRAP_NS;
         self.last_traps[p] = traps;
+        // A sub-step crash hook fired mid-step (mid-commit kill): whatever
+        // the app returned describes a future the process does not have.
+        // Schedule the kill at the current instant — pushed before the
+        // Ready event below, so the scheduler delivers `Wake::Killed`
+        // first — and keep the process nominally runnable so the kill is
+        // not ignored as targeting a finished process.
+        let st = if killed {
+            self.sim.kill_at(pid, self.sim.now());
+            Ok(ft_sim::syscalls::AppStatus::Running)
+        } else {
+            st
+        };
         self.sim.finish_step(pid, st, el)
     }
 
@@ -127,7 +146,17 @@ impl DcHarness {
     /// Runs to completion (or deadlock / abandonment), recovering failed
     /// processes automatically and firing periodic coordinated rounds when
     /// configured.
-    pub fn run(mut self) -> DcReport {
+    pub fn run(self) -> DcReport {
+        self.run_with(|_| {})
+    }
+
+    /// Like [`DcHarness::run`], but calls `on_step` with the simulator
+    /// after each wake-up has been handled. The model checker's crash
+    /// scheduler uses the hook to watch per-process trace positions and
+    /// inject `kill_at` exactly when a process reaches its target event
+    /// index; the hook may freely schedule kills but must not otherwise
+    /// mutate simulation state.
+    pub fn run_with(mut self, mut on_step: impl FnMut(&mut Simulator)) -> DcReport {
         let mut guard = 0u64;
         let period = self.rt.cfg().periodic_checkpoint_ns;
         let mut next_round = period.unwrap_or(u64::MAX);
@@ -149,11 +178,15 @@ impl DcHarness {
                 }
                 Wake::Killed(pid) => self.handle_failure(pid),
             }
+            on_step(&mut self.sim);
         }
         let n = self.apps.len();
         let all_done = (0..n).all(|p| self.sim.is_done(ProcessId(p as u32)));
         let commits_per_proc = (0..n)
             .map(|p| self.rt.state(ProcessId(p as u32)).stats.commits)
+            .collect();
+        let commit_points_per_proc = (0..n)
+            .map(|p| self.rt.commit_points(ProcessId(p as u32)))
             .collect();
         let totals = self.rt.total_stats();
         let mut arena = ArenaStats::default();
@@ -169,6 +202,7 @@ impl DcHarness {
             runtime,
             all_done,
             commits_per_proc,
+            commit_points_per_proc,
             totals,
             net,
             arena,

@@ -34,4 +34,4 @@ pub mod state;
 pub use dcsys::DcSys;
 pub use harness::{DcHarness, DcReport};
 pub use runtime::DcRuntime;
-pub use state::{DcConfig, DcStats, PendingNd};
+pub use state::{CommitKill, DcConfig, DcStats, PendingNd};

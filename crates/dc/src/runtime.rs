@@ -2,6 +2,7 @@
 
 use ft_core::event::ProcessId;
 use ft_core::protocol::{coordinated_participants, CommitPlanner, DepTracker, Protocol};
+use ft_mem::arena::CommitCrashPoint;
 use ft_sim::cost::SimTime;
 use ft_sim::sim::{Simulator, SysCtx};
 use ft_sim::syscalls::Syscalls;
@@ -16,12 +17,19 @@ use crate::state::{
 pub struct DcRuntime {
     cfg: DcConfig,
     states: Vec<ProcState>,
+    /// Commit points each process has reached as the committing (or
+    /// coordinating) process, across the whole run including
+    /// re-execution. Monotonic — never rolled back — so a configured
+    /// [`crate::state::CommitKill`] fires at most once, and the model
+    /// checker can enumerate a canonical run's kill points from the final
+    /// counts.
+    commit_points: Vec<u64>,
 }
 
 impl DcRuntime {
     /// Builds the runtime, taking each process's initial snapshot.
     pub fn new(cfg: DcConfig, sim: &Simulator, mems: Vec<ft_mem::mem::Mem>) -> Self {
-        let states = mems
+        let states: Vec<ProcState> = mems
             .into_iter()
             .enumerate()
             .map(|(p, mem)| {
@@ -29,7 +37,29 @@ impl DcRuntime {
                 ProcState::new(p as u32, cfg.protocol, mem, kernel)
             })
             .collect();
-        DcRuntime { cfg, states }
+        let commit_points = vec![0; states.len()];
+        DcRuntime {
+            cfg,
+            states,
+            commit_points,
+        }
+    }
+
+    /// Commit points `pid` has reached so far as the committing process
+    /// (the enumeration domain for mid-commit kills).
+    pub fn commit_points(&self, pid: ProcessId) -> u64 {
+        self.commit_points[pid.index()]
+    }
+
+    /// Counts a commit point for `pid` and reports whether the configured
+    /// mid-commit kill fires here.
+    fn check_commit_kill(&mut self, pid: ProcessId) -> Option<CommitCrashPoint> {
+        let n = self.commit_points[pid.index()];
+        self.commit_points[pid.index()] += 1;
+        match self.cfg.commit_kill {
+            Some(k) if k.pid == pid.0 && k.nth == n => Some(k.point),
+            _ => None,
+        }
     }
 
     /// The configuration.
@@ -86,13 +116,35 @@ impl DcRuntime {
         sim: &Simulator,
         pending: Option<PendingNd>,
     ) -> SimTime {
+        self.commit_arena_at(pid, sim, pending, None)
+    }
+
+    /// As [`DcRuntime::commit_arena`], but the arena commit is torn at
+    /// `crash` when given. Callers pass only the crash points at which the
+    /// commit still completes ([`CommitCrashPoint::MidUndoWalk`] /
+    /// [`CommitCrashPoint::PostBump`] — a pre-log crash means no commit
+    /// happens at all, so this function is never reached).
+    fn commit_arena_at(
+        &mut self,
+        pid: ProcessId,
+        sim: &Simulator,
+        pending: Option<PendingNd>,
+        crash: Option<CommitCrashPoint>,
+    ) -> SimTime {
         let st = &mut self.states[pid.index()];
         // Recycle the outgoing snapshot's blob allocation: commits happen
         // once per interposition point under the chatty protocols, so this
         // keeps the checkpoint path allocation-free after warm-up.
         let mut alloc_blob = std::mem::take(&mut st.committed.alloc_blob);
         encode_alloc_into(&st.mem.alloc, &mut alloc_blob);
-        let mut rec = st.mem.arena.commit();
+        let mut rec = match crash {
+            None => st.mem.arena.commit(),
+            Some(point) => st
+                .mem
+                .arena
+                .commit_crashed(point)
+                .expect("a committing crash point completes the commit"),
+        };
         // Register file + runtime control block alongside the pages.
         rec.register_bytes = alloc_blob.len() + 128;
         let cost = self.cfg.medium.commit_cost(&rec);
@@ -122,8 +174,27 @@ impl DcRuntime {
     /// process.
     pub fn local_commit(&mut self, ctx: &mut SysCtx<'_>, pending: Option<PendingNd>) {
         let pid = ctx.pid();
-        let cost = self.commit_arena(pid, ctx.sim(), pending);
-        ctx.record_commit(cost);
+        match self.check_commit_kill(pid) {
+            Some(CommitCrashPoint::PreLog) => {
+                // The process dies before the commit record reaches
+                // reliable memory: the commit never happened. No snapshot,
+                // no commit event; the rest of this step is suppressed and
+                // the scheduler delivers the kill.
+                ctx.mark_killed();
+            }
+            Some(point) => {
+                // The commit record was durable first: the commit fully
+                // happens (the torn undo-log truncation completes
+                // idempotently during recovery), then the process dies.
+                let cost = self.commit_arena_at(pid, ctx.sim(), pending, Some(point));
+                ctx.record_commit(cost);
+                ctx.mark_killed();
+            }
+            None => {
+                let cost = self.commit_arena(pid, ctx.sim(), pending);
+                ctx.record_commit(cost);
+            }
+        }
     }
 
     /// A coordinated (two-phase) commit round triggered by the running
@@ -139,6 +210,21 @@ impl DcRuntime {
     /// bounded, counted retries, never a hang.
     pub fn coordinated_commit(&mut self, ctx: &mut SysCtx<'_>) {
         let me = ctx.pid();
+        // A mid-commit kill targets the *coordinator's* commit point. A
+        // pre-log crash lands before the round's prepares go out: nothing
+        // is committed anywhere and no round is recorded. A mid/post crash
+        // lands after the round's atomicity point: every participant's
+        // commit (the coordinator's torn at the configured sub-step)
+        // completes and the round is recorded; only then does the
+        // coordinator die. Killing a *participant* mid-round is not a
+        // modeled sub-step — the round is atomic by construction, so those
+        // schedules are covered by the position-based kills on either side
+        // of it.
+        let kill = self.check_commit_kill(me);
+        if kill == Some(CommitCrashPoint::PreLog) {
+            ctx.mark_killed();
+            return;
+        }
         let participants: Vec<ProcessId> = if self.cfg.protocol == Protocol::Cpv2pc {
             (0..self.states.len())
                 .map(|q| ProcessId(q as u32))
@@ -153,9 +239,15 @@ impl DcRuntime {
         self.await_participants(ctx, me, &participants);
         let costs: Vec<SimTime> = participants
             .iter()
-            .map(|&q| self.commit_arena(q, ctx.sim(), None))
+            .map(|&q| {
+                let crash = kill.filter(|_| q == me);
+                self.commit_arena_at(q, ctx.sim(), None, crash)
+            })
             .collect();
         ctx.record_coordinated_commit(&participants, &costs);
+        if kill.is_some() {
+            ctx.mark_killed();
+        }
     }
 
     /// Charges the coordinator's prepare timeouts until every remote

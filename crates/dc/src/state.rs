@@ -4,11 +4,30 @@
 use std::collections::HashMap;
 
 use ft_core::protocol::{CommitPlanner, DepTracker, Protocol};
+use ft_mem::arena::CommitCrashPoint;
 use ft_mem::cost::Medium;
 use ft_mem::mem::Mem;
 use ft_sim::cost::SimTime;
 use ft_sim::kernel::Kernel;
 use ft_sim::syscalls::{Message, SysResult};
+
+/// A sub-step kill injected inside one specific commit (the `ft-check`
+/// model checker's mid-commit crash points): the `nth` commit point this
+/// process reaches as the committing (or coordinating) process is torn at
+/// `point`, and the process is killed before its step's following event
+/// executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitKill {
+    /// The process to kill.
+    pub pid: u32,
+    /// Zero-based index into the process's sequence of commit points
+    /// (counting every `local_commit` it executes and every coordinated
+    /// round it *coordinates* — participations in another coordinator's
+    /// round are not kill points, see [`crate::runtime::DcRuntime`]).
+    pub nth: u64,
+    /// Where inside the commit the crash lands.
+    pub point: CommitCrashPoint,
+}
 
 /// Discount Checking configuration.
 #[derive(Debug, Clone)]
@@ -29,6 +48,17 @@ pub struct DcConfig {
     /// with it re-execution time) for protocols that otherwise commit
     /// rarely — the "Coordinated checkpointing" point of Figure 3.
     pub periodic_checkpoint_ns: Option<SimTime>,
+    /// A single mid-commit kill to inject (`None` in normal runs; the
+    /// default constructors leave this unset, so existing behavior — and
+    /// every golden fingerprint — is bit-identical).
+    pub commit_kill: Option<CommitKill>,
+    /// **Test-only mutation switch** for the checker's self-test: when
+    /// set, the protocol's commit *before a send* is skipped, deliberately
+    /// breaking the Save-work invariant for the commit-prior-to-send
+    /// protocols (CPVS, CBNDVS, …). Never set outside tests; exists so the
+    /// mutation self-test can prove `ft-check` detects and shrinks a real
+    /// violation.
+    pub skip_presend_commit: bool,
 }
 
 impl DcConfig {
@@ -40,6 +70,8 @@ impl DcConfig {
             reboot_delay_ns: 50 * ft_sim::MS,
             max_recoveries: 3,
             periodic_checkpoint_ns: None,
+            commit_kill: None,
+            skip_presend_commit: false,
         }
     }
 

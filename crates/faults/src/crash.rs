@@ -1,0 +1,133 @@
+//! Declarative crash points for the `ft-check` crash-schedule explorer.
+//!
+//! A [`CrashPoint`] names one place in a run's canonical event trace where
+//! the model checker kills a process: before it executes anything, after
+//! it has emitted its `pos`-th traced event, or *inside* one of its
+//! commits at a sub-step of the Vista-style atomic commit (pre-log,
+//! mid-undo-walk, post-bump). The enum is pure data — applying a point is
+//! the checker's job (a `kill_at` watcher for positions, a
+//! `DcConfig::commit_kill` for mid-commit tears) — so schedules can be
+//! enumerated, deduplicated, sorted, and rendered into replay scripts
+//! without touching the simulator.
+
+use ft_mem::arena::CommitCrashPoint;
+
+/// One kill the crash scheduler injects into an otherwise-deterministic
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CrashPoint {
+    /// Kill `pid` before it executes its first event (the "fails during
+    /// reboot"-adjacent edge case: nothing committed beyond the initial
+    /// snapshot).
+    AtStart {
+        /// The process to kill.
+        pid: u32,
+    },
+    /// Kill `pid` once it has appended `pos` events to its per-process
+    /// trace — i.e. between its `pos`-th and `pos+1`-th canonical events.
+    AtPosition {
+        /// The process to kill.
+        pid: u32,
+        /// Number of traced events the process completes before dying.
+        pos: u64,
+    },
+    /// Kill `pid` *inside* its `nth` commit point, torn at `point`. Commit
+    /// points count local commits plus coordinated rounds the process
+    /// coordinates, monotonically across recoveries.
+    InCommit {
+        /// The process to kill.
+        pid: u32,
+        /// Zero-based commit-point index.
+        nth: u64,
+        /// The sub-step of the atomic commit where the crash lands.
+        point: CommitCrashPoint,
+    },
+}
+
+impl CrashPoint {
+    /// The process this point kills.
+    pub fn pid(&self) -> u32 {
+        match *self {
+            CrashPoint::AtStart { pid }
+            | CrashPoint::AtPosition { pid, .. }
+            | CrashPoint::InCommit { pid, .. } => pid,
+        }
+    }
+
+    /// A stable one-line description, used in counterexample reports and
+    /// replay-script comments.
+    pub fn describe(&self) -> String {
+        match *self {
+            CrashPoint::AtStart { pid } => format!("kill p{pid} before its first event"),
+            CrashPoint::AtPosition { pid, pos } => {
+                format!("kill p{pid} after its event #{pos}")
+            }
+            CrashPoint::InCommit { pid, nth, point } => {
+                format!("kill p{pid} inside commit #{nth} at {point}")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_extraction_covers_every_variant() {
+        let pts = [
+            CrashPoint::AtStart { pid: 2 },
+            CrashPoint::AtPosition { pid: 2, pos: 7 },
+            CrashPoint::InCommit {
+                pid: 2,
+                nth: 1,
+                point: CommitCrashPoint::MidUndoWalk,
+            },
+        ];
+        assert!(pts.iter().all(|p| p.pid() == 2));
+    }
+
+    #[test]
+    fn descriptions_are_stable() {
+        assert_eq!(
+            CrashPoint::AtStart { pid: 0 }.describe(),
+            "kill p0 before its first event"
+        );
+        assert_eq!(
+            CrashPoint::AtPosition { pid: 1, pos: 12 }.to_string(),
+            "kill p1 after its event #12"
+        );
+        assert_eq!(
+            CrashPoint::InCommit {
+                pid: 3,
+                nth: 0,
+                point: CommitCrashPoint::PreLog,
+            }
+            .to_string(),
+            "kill p3 inside commit #0 at pre-log"
+        );
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let mut pts = [
+            CrashPoint::InCommit {
+                pid: 0,
+                nth: 0,
+                point: CommitCrashPoint::PostBump,
+            },
+            CrashPoint::AtPosition { pid: 0, pos: 3 },
+            CrashPoint::AtStart { pid: 1 },
+            CrashPoint::AtStart { pid: 0 },
+        ];
+        pts.sort();
+        assert_eq!(pts[0], CrashPoint::AtStart { pid: 0 });
+        assert_eq!(pts[1], CrashPoint::AtStart { pid: 1 });
+    }
+}

@@ -32,6 +32,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
+
+pub use crash::CrashPoint;
+
 use ft_core::event::ProcessId;
 use ft_mem::arena::Region;
 use ft_mem::mem::Mem;

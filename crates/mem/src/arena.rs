@@ -115,6 +115,59 @@ impl ArenaStats {
     }
 }
 
+/// A sub-step of the arena's commit sequence at which a crash can be
+/// injected (for the `ft-check` model checker's mid-commit kill points).
+///
+/// Vista's commit is "write the commit record, then truncate the undo
+/// log": the commit record hitting reliable memory is the atomicity
+/// point, and log truncation after it is idempotent. The three points
+/// model a crash on either side of that line plus one torn in the middle
+/// of the truncation walk:
+///
+/// * [`PreLog`](CommitCrashPoint::PreLog) — before the commit record is
+///   persisted. The commit *did not happen*: the undo log survives and a
+///   recovery rolls back to the previous commit.
+/// * [`MidUndoWalk`](CommitCrashPoint::MidUndoWalk) — after the record,
+///   halfway through retiring the undo log. The commit *did happen*;
+///   recovery merely completes the idempotent truncation, so the
+///   observable outcome is bitwise-identical to a clean commit.
+/// * [`PostBump`](CommitCrashPoint::PostBump) — after the epoch bump, a
+///   crash immediately after a complete commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CommitCrashPoint {
+    /// Crash before the commit record is persisted (commit lost).
+    PreLog,
+    /// Crash mid-way through the undo-log truncation (commit durable;
+    /// truncation completed idempotently on recovery).
+    MidUndoWalk,
+    /// Crash right after the commit completes.
+    PostBump,
+}
+
+impl CommitCrashPoint {
+    /// All sub-step crash points, in commit-sequence order.
+    pub const ALL: [CommitCrashPoint; 3] = [
+        CommitCrashPoint::PreLog,
+        CommitCrashPoint::MidUndoWalk,
+        CommitCrashPoint::PostBump,
+    ];
+
+    /// Stable lowercase name for reports and counterexample scripts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommitCrashPoint::PreLog => "pre-log",
+            CommitCrashPoint::MidUndoWalk => "mid-undo-walk",
+            CommitCrashPoint::PostBump => "post-bump",
+        }
+    }
+}
+
+impl std::fmt::Display for CommitCrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// What one commit had to persist (drives the time-cost model).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommitRecord {
@@ -355,6 +408,60 @@ impl Arena {
         record
     }
 
+    /// Executes a commit that is interrupted by a crash at `point`,
+    /// resolving the arena to the state a recovery would observe.
+    ///
+    /// Returns `None` for [`CommitCrashPoint::PreLog`] (the commit never
+    /// happened; the arena — contents, undo log, stats — is untouched) and
+    /// `Some(record)` otherwise, where the resulting state, commit record
+    /// and statistics are bitwise-identical to a clean [`Arena::commit`]:
+    /// the commit record was durable before the crash and the undo-log
+    /// truncation is idempotent, so recovery completes it.
+    pub fn commit_crashed(&mut self, point: CommitCrashPoint) -> Option<CommitRecord> {
+        match point {
+            CommitCrashPoint::PreLog => None,
+            CommitCrashPoint::MidUndoWalk => {
+                // The crash tears the truncation walk in half; recovery
+                // replays the remainder. Both halves retire buffers into
+                // the pool exactly as `commit` does, so the end state is
+                // indistinguishable from an uninterrupted commit.
+                let dirty_pages = self.undo.len();
+                let record = CommitRecord {
+                    dirty_pages,
+                    dirty_bytes: dirty_pages * PAGE_SIZE,
+                    register_bytes: 0,
+                };
+                let torn_at = dirty_pages / 2;
+                self.pool
+                    .extend(self.undo.drain(torn_at..).map(|(_, image)| image));
+                // -- simulated crash here; recovery resumes the walk --
+                self.pool
+                    .extend(self.undo.drain(..).map(|(_, image)| image));
+                self.bump_epoch();
+                self.stats.commits += 1;
+                self.stats.committed_pages += dirty_pages as u64;
+                self.stats.committed_bytes += record.dirty_bytes as u64;
+                Some(record)
+            }
+            CommitCrashPoint::PostBump => Some(self.commit()),
+        }
+    }
+
+    /// Test-only hook: forces the commit-interval epoch so integration
+    /// tests can drive the u32 counter across wraparound without millions
+    /// of commits. Stamps above the new epoch are rewound to zero so the
+    /// arena stays in a state reachable by real execution.
+    #[doc(hidden)]
+    pub fn force_epoch(&mut self, epoch: u32) {
+        assert!(epoch > 0, "epoch 0 would mark every page clean-forever");
+        for stamp in &mut self.page_epoch {
+            if *stamp >= epoch {
+                *stamp = 0;
+            }
+        }
+        self.epoch = epoch;
+    }
+
     /// Rolls back to the last committed state by applying the undo log's
     /// before-images (most recent first). Returns the number of pages
     /// restored.
@@ -591,6 +698,72 @@ mod tests {
         assert_eq!(a.stats().traps, traps + 1);
         a.rollback();
         assert_eq!(a.read(0, 1).unwrap(), &[2]);
+    }
+
+    #[test]
+    fn commit_crashed_pre_log_loses_the_commit() {
+        let mut a = Arena::new(Layout::small());
+        a.write(0, b"base").unwrap();
+        a.commit();
+        a.write(0, b"next").unwrap();
+        let stats_before = a.stats();
+        assert_eq!(a.commit_crashed(CommitCrashPoint::PreLog), None);
+        assert_eq!(a.stats(), stats_before, "a lost commit records nothing");
+        assert_eq!(a.dirty_page_count(), 1, "undo log survives");
+        a.rollback();
+        assert_eq!(a.read(0, 4).unwrap(), b"base");
+    }
+
+    #[test]
+    fn commit_crashed_mid_and_post_match_a_clean_commit() {
+        for point in [CommitCrashPoint::MidUndoWalk, CommitCrashPoint::PostBump] {
+            let mut clean = Arena::new(Layout::small());
+            let mut torn = Arena::new(Layout::small());
+            for a in [&mut clean, &mut torn] {
+                a.write(0, b"one").unwrap();
+                a.write(PAGE_SIZE, b"two").unwrap();
+                a.write(3 * PAGE_SIZE, b"three").unwrap();
+            }
+            let want = clean.commit();
+            let got = torn.commit_crashed(point);
+            assert_eq!(got, Some(want), "{point}");
+            assert_eq!(torn.stats(), clean.stats(), "{point}");
+            assert_eq!(torn.dirty_page_count(), 0, "{point}");
+            assert_eq!(torn.pooled_pages(), clean.pooled_pages(), "{point}");
+            assert_eq!(
+                torn.checksum(0, torn.size()).unwrap(),
+                clean.checksum(0, clean.size()).unwrap(),
+                "{point}"
+            );
+            // The next interval behaves identically too.
+            for a in [&mut clean, &mut torn] {
+                a.write(0, b"later").unwrap();
+            }
+            assert_eq!(torn.rollback(), clean.rollback(), "{point}");
+            assert_eq!(torn.read(0, 3).unwrap(), b"one", "{point}");
+        }
+    }
+
+    #[test]
+    fn commit_crash_point_names_are_stable() {
+        let names: Vec<&str> = CommitCrashPoint::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["pre-log", "mid-undo-walk", "post-bump"]);
+        assert_eq!(CommitCrashPoint::MidUndoWalk.to_string(), "mid-undo-walk");
+    }
+
+    #[test]
+    fn force_epoch_rewinds_aliasing_stamps() {
+        let mut a = Arena::new(Layout::small());
+        a.write(0, &[1]).unwrap();
+        a.commit();
+        a.force_epoch(u32::MAX - 1);
+        // The stamp from epoch 1 is below the forced epoch: page 0 must
+        // still trap as dirty in the new interval.
+        let traps = a.stats().traps;
+        a.write(0, &[2]).unwrap();
+        assert_eq!(a.stats().traps, traps + 1);
+        a.rollback();
+        assert_eq!(a.read(0, 1).unwrap(), &[1]);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod pod;
 pub mod vec;
 
 pub use alloc::Allocator;
-pub use arena::{Arena, ArenaStats, CommitRecord, Layout, Region, PAGE_SIZE};
+pub use arena::{Arena, ArenaStats, CommitCrashPoint, CommitRecord, Layout, Region, PAGE_SIZE};
 pub use cost::{DiskModel, Medium, Nanos, RioModel};
 pub use error::{MemFault, MemResult};
 pub use mem::{ArenaCell, Mem};

@@ -328,6 +328,7 @@ impl Simulator {
             elapsed: 0,
             log_next: false,
             send_meta: None,
+            killed: false,
         }
     }
 
@@ -569,12 +570,31 @@ pub struct SysCtx<'a> {
     elapsed: SimTime,
     log_next: bool,
     send_meta: Option<(BTreeSet<u32>, bool)>,
+    /// Set when a sub-step crash hook fires mid-step (e.g. a kill injected
+    /// inside a commit): the process is dead for the remainder of this
+    /// step, so every later syscall is suppressed — no events recorded, no
+    /// messages sent, no outputs emitted. The flag lives on the per-step
+    /// context, so it resets naturally at the next step.
+    killed: bool,
 }
 
 impl<'a> SysCtx<'a> {
     /// Time charged so far in this step.
     pub fn elapsed(&self) -> SimTime {
         self.elapsed
+    }
+
+    /// Marks the process as killed mid-step (sub-step crash hook): the
+    /// rest of this step's syscalls become unobservable no-ops. The caller
+    /// is responsible for scheduling the actual [`Simulator::kill_at`] so
+    /// the scheduler delivers [`Wake::Killed`].
+    pub fn mark_killed(&mut self) {
+        self.killed = true;
+    }
+
+    /// True if a sub-step crash hook fired during this step.
+    pub fn step_killed(&self) -> bool {
+        self.killed
     }
 
     /// Marks the next recorded non-deterministic event as logged (rendered
@@ -691,6 +711,9 @@ impl<'a> Syscalls for SysCtx<'a> {
     }
 
     fn gettimeofday(&mut self) -> SimTime {
+        if self.killed {
+            return self.sim.now + self.elapsed;
+        }
         self.count_syscall();
         self.elapsed += self.sim.cfg.cost.gettimeofday_ns;
         let mut v = self.sim.now + self.elapsed;
@@ -709,6 +732,9 @@ impl<'a> Syscalls for SysCtx<'a> {
     }
 
     fn random(&mut self) -> u64 {
+        if self.killed {
+            return 0;
+        }
         self.count_syscall();
         let mut v: u64 = self.sim.rng.next_u64();
         let poll = self.now();
@@ -726,6 +752,9 @@ impl<'a> Syscalls for SysCtx<'a> {
     }
 
     fn read_input(&mut self) -> Option<Vec<u8>> {
+        if self.killed {
+            return None;
+        }
         let now = self.now();
         let p = self.pid.index();
         let mut bytes = self.sim.scripts[p].take_due(now)?;
@@ -750,6 +779,9 @@ impl<'a> Syscalls for SysCtx<'a> {
     }
 
     fn send(&mut self, to: ProcessId, payload: Vec<u8>) -> SysResult<()> {
+        if self.killed {
+            return Ok(());
+        }
         if to.index() >= self.sim.cfg.n_procs {
             return Err(SysError::BadFd);
         }
@@ -802,6 +834,9 @@ impl<'a> Syscalls for SysCtx<'a> {
     }
 
     fn try_recv(&mut self) -> Option<Message> {
+        if self.killed {
+            return None;
+        }
         let now = self.now();
         let (mut msg, trace_msg) = self.sim.net.try_recv(self.pid, now)?;
         self.count_syscall();
@@ -822,6 +857,9 @@ impl<'a> Syscalls for SysCtx<'a> {
     }
 
     fn visible(&mut self, token: u64) {
+        if self.killed {
+            return;
+        }
         self.count_syscall();
         self.elapsed += self.sim.cfg.cost.visible_ns;
         let t = self.now();
@@ -831,6 +869,9 @@ impl<'a> Syscalls for SysCtx<'a> {
     }
 
     fn take_signal(&mut self) -> Option<u32> {
+        if self.killed {
+            return None;
+        }
         let now = self.now();
         let p = self.pid.index();
         let signo = self.sim.signals[p].take_due(now)?;
@@ -845,6 +886,9 @@ impl<'a> Syscalls for SysCtx<'a> {
     }
 
     fn open(&mut self, name: &str) -> SysResult<u32> {
+        if self.killed {
+            return Ok(0);
+        }
         self.count_syscall();
         self.elapsed += self.sim.cfg.cost.open_ns;
         let corrupted = {
@@ -867,6 +911,9 @@ impl<'a> Syscalls for SysCtx<'a> {
     }
 
     fn write_file(&mut self, fd: u32, bytes: &[u8]) -> SysResult<()> {
+        if self.killed {
+            return Ok(());
+        }
         self.count_syscall();
         self.elapsed += self.sim.cfg.cost.file_ns_per_byte * bytes.len() as SimTime;
         let _ = {
@@ -884,6 +931,9 @@ impl<'a> Syscalls for SysCtx<'a> {
     }
 
     fn read_file(&mut self, fd: u32, len: usize) -> SysResult<Vec<u8>> {
+        if self.killed {
+            return Ok(vec![0; len]);
+        }
         self.count_syscall();
         self.elapsed += self.sim.cfg.cost.file_ns_per_byte * len as SimTime;
         let corrupted = {
@@ -899,6 +949,9 @@ impl<'a> Syscalls for SysCtx<'a> {
     }
 
     fn close(&mut self, fd: u32) -> SysResult<()> {
+        if self.killed {
+            return Ok(());
+        }
         self.count_syscall();
         let _ = {
             let now = self.now();
@@ -909,6 +962,9 @@ impl<'a> Syscalls for SysCtx<'a> {
     }
 
     fn note_fault_activation(&mut self, fault: u32) {
+        if self.killed {
+            return;
+        }
         self.sim.tracer.fault_activation(self.pid, fault);
     }
 }

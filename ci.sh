@@ -8,6 +8,19 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 
+# Determinism lint: the simulation must stay a pure function of its seed.
+# Wall-clock reads and OS randomness are banned workspace-wide except in
+# the explicitly allowlisted campaign drivers (which report timings but
+# never feed them back into simulated results).
+determinism_violations=$(grep -rn --include='*.rs' -E 'SystemTime|Instant::now|thread_rng' \
+    crates/ src/ examples/ tests/ 2>/dev/null \
+  | grep -vF -f ci/determinism_allowlist.txt || true)
+if [[ -n "$determinism_violations" ]]; then
+  echo "ci: determinism lint: wall-clock/OS-randomness outside the allowlist:" >&2
+  echo "$determinism_violations" >&2
+  exit 1
+fi
+
 # Campaign smoke: the parallel runner must reproduce the serial rows
 # bitwise for both the fault-injection matrix and the Figure 8 grids (the
 # binary exits nonzero on any serial/parallel mismatch) and emit the four
@@ -24,5 +37,17 @@ done
 # writing check_counterexample.txt.
 cargo run --release -q -p ft-check --bin check -- --smoke --threads 4 --out BENCH_check.json
 [[ -s BENCH_check.json ]] || { echo "ci: missing BENCH_check.json" >&2; exit 1; }
+
+# Analyzer smoke: every workload under all seven protocols through the
+# happens-before, lockset, and obligation-audit passes (plus the two
+# seeded-race mutants, which must be flagged). The binary asserts
+# serial/sharded equivalence and exits nonzero on unexpected findings;
+# the report itself must be byte-identical across two consecutive runs.
+cargo run --release -q -p ft-analyze --bin analyze -- --smoke --threads 4 --out BENCH_analyze.json
+cargo run --release -q -p ft-analyze --bin analyze -- --smoke --threads 2 --out BENCH_analyze.rerun.json
+cmp BENCH_analyze.json BENCH_analyze.rerun.json \
+  || { echo "ci: BENCH_analyze.json not deterministic across runs" >&2; exit 1; }
+rm -f BENCH_analyze.rerun.json
+[[ -s BENCH_analyze.json ]] || { echo "ci: missing BENCH_analyze.json" >&2; exit 1; }
 
 echo "ci: all green"

@@ -14,6 +14,14 @@
 //! data), computes approximate forces for its partition with the θ
 //! opening criterion, integrates, writes its partition back through the
 //! DSM, and joins the barrier.
+//!
+//! The iteration has the classic SPLASH-2 **two-barrier** structure:
+//! a read-only force phase (reads every body, writes only private force
+//! scratch), barrier one, an update phase (reads and writes only this
+//! node's partition), barrier two. Fusing the phases — reading all bodies
+//! and writing your own in the same barrier interval — is a textbook
+//! happens-before data race under the multiple-writer protocol, and the
+//! `ft-analyze` race passes flag exactly that fused variant.
 
 use ft_dsm::{BarrierStatus, Dsm};
 use ft_mem::arena::Layout;
@@ -41,14 +49,19 @@ const G_PHASE: ArenaCell<u64> = ArenaCell::at(0);
 const G_INIT: ArenaCell<u64> = ArenaCell::at(8);
 const G_ITER: ArenaCell<u64> = ArenaCell::at(16);
 const G_CLOCK: ArenaCell<u64> = ArenaCell::at(24);
+/// Private force scratch: (fx, fy) per body, 16 bytes each, starting at
+/// this globals offset (96 bodies × 16 = 1536 bytes — fits one page).
+const G_FORCE: usize = 64;
 
 // Phases.
 const P_INIT: u64 = 0;
-const P_COMPUTE: u64 = 1;
+const P_FORCE: u64 = 1;
 const P_CLOCK: u64 = 2;
-const P_BARRIER: u64 = 3;
-const P_RENDER: u64 = 4;
-const P_DONE: u64 = 5;
+const P_BARRIER1: u64 = 3;
+const P_UPDATE: u64 = 4;
+const P_BARRIER2: u64 = 5;
+const P_RENDER: u64 = 6;
+const P_DONE: u64 = 7;
 
 /// One worker node of the Barnes-Hut computation.
 pub struct BarnesHut {
@@ -60,6 +73,14 @@ pub struct BarnesHut {
     pub iterations: u64,
     /// Emit a progress visible every this many iterations.
     pub display_every: u64,
+    /// Seeded mutation for the `ft-analyze` self-test: integrate and
+    /// write this node's partition *in the force phase*, fusing the two
+    /// phases back into one barrier interval. The physics is unchanged
+    /// under the simulator's deterministic schedule (peers' force reads
+    /// complete before this node's writes land at the next barrier), but
+    /// the reads and writes are concurrent — the happens-before race the
+    /// two-barrier structure exists to prevent.
+    pub fused: bool,
 }
 
 /// A body (scratch representation).
@@ -210,24 +231,38 @@ impl BarnesHut {
         Dsm::init(&mut probe, self.my, self.n_nodes, Self::dsm_pages()).expect("probe")
     }
 
-    fn read_body(dsm: &Dsm, mem: &Mem, i: usize) -> MemResult<Body> {
+    /// Reads one body through the recorded DSM interface (a shared-memory
+    /// access the `ft-analyze` passes observe).
+    fn read_body(dsm: &Dsm, sys: &mut dyn SysMem, i: usize) -> MemResult<Body> {
         let off = i * BODY_BYTES;
         Ok(Body {
-            x: dsm.read_pod(mem, off)?,
-            y: dsm.read_pod(mem, off + 8)?,
-            vx: dsm.read_pod(mem, off + 16)?,
-            vy: dsm.read_pod(mem, off + 24)?,
-            m: dsm.read_pod(mem, off + 32)?,
+            x: dsm.read_pod(sys, off)?,
+            y: dsm.read_pod(sys, off + 8)?,
+            vx: dsm.read_pod(sys, off + 16)?,
+            vy: dsm.read_pod(sys, off + 24)?,
+            m: dsm.read_pod(sys, off + 32)?,
         })
     }
 
-    fn write_body(dsm: &Dsm, mem: &mut Mem, i: usize, b: Body) -> MemResult<()> {
+    /// Writes one body through the recorded DSM interface.
+    fn write_body(dsm: &Dsm, sys: &mut dyn SysMem, i: usize, b: Body) -> MemResult<()> {
         let off = i * BODY_BYTES;
-        dsm.write_pod(mem, off, b.x)?;
-        dsm.write_pod(mem, off + 8, b.y)?;
-        dsm.write_pod(mem, off + 16, b.vx)?;
-        dsm.write_pod(mem, off + 24, b.vy)?;
-        dsm.write_pod(mem, off + 32, b.m)
+        dsm.write_pod(sys, off, b.x)?;
+        dsm.write_pod(sys, off + 8, b.y)?;
+        dsm.write_pod(sys, off + 16, b.vx)?;
+        dsm.write_pod(sys, off + 24, b.vy)?;
+        dsm.write_pod(sys, off + 32, b.m)
+    }
+
+    /// Seeds one body with raw (unrecorded) writes — replica-local
+    /// initialization before `commit_baseline`, not a shared access.
+    fn seed_body(dsm: &Dsm, mem: &mut Mem, i: usize, b: Body) -> MemResult<()> {
+        let off = i * BODY_BYTES;
+        dsm.write_pod_raw(mem, off, b.x)?;
+        dsm.write_pod_raw(mem, off + 8, b.y)?;
+        dsm.write_pod_raw(mem, off + 16, b.vx)?;
+        dsm.write_pod_raw(mem, off + 24, b.vy)?;
+        dsm.write_pod_raw(mem, off + 32, b.m)
     }
 
     /// This node's partition of the body array.
@@ -243,10 +278,10 @@ impl BarnesHut {
     }
 
     /// Total energy (for the progress display / physics sanity).
-    fn energy(dsm: &Dsm, mem: &Mem) -> MemResult<f64> {
+    fn energy(dsm: &Dsm, sys: &mut dyn SysMem) -> MemResult<f64> {
         let mut bodies = Vec::with_capacity(N_BODIES);
         for i in 0..N_BODIES {
-            bodies.push(Self::read_body(dsm, mem, i)?);
+            bodies.push(Self::read_body(dsm, sys, i)?);
         }
         let mut e = 0.0;
         for (i, b) in bodies.iter().enumerate() {
@@ -282,40 +317,52 @@ impl App for BarnesHut {
                             vy: a.cos() * 0.6,
                             m: 1.0 + (i % 3) as f64 * 0.5,
                         };
-                        Self::write_body(&dsm, m, i, b)?;
+                        Self::seed_body(&dsm, m, i, b)?;
                     }
                     // The seed is identical on every node: make it the
                     // shared baseline instead of diffing it.
                     dsm.commit_baseline(m)?;
                     G_INIT.set(&mut m.arena, 1)?;
                 }
-                G_PHASE.set(&mut sys.mem().arena, P_COMPUTE)?;
+                G_PHASE.set(&mut sys.mem().arena, P_FORCE)?;
                 Ok(AppStatus::Running)
             }
-            P_COMPUTE => {
+            P_FORCE => {
+                // Phase one (read-only on shared data): build the quadtree
+                // over ALL bodies, compute this partition's forces into
+                // private scratch. Shared writes wait for the update phase
+                // on the far side of barrier one.
                 let dsm = self.dsm();
-                // Build the quadtree over ALL bodies (scratch), then
-                // integrate this node's partition.
-                let mut tree = QNode::Empty;
-                let mut maxc: f64 = 1.0;
+                let mut bodies = Vec::with_capacity(N_BODIES);
                 for i in 0..N_BODIES {
-                    let b = Self::read_body(&dsm, sys.mem(), i)?;
+                    bodies.push(Self::read_body(&dsm, sys, i)?);
+                }
+                let mut maxc: f64 = 1.0;
+                for b in &bodies {
                     maxc = maxc.max(b.x.abs()).max(b.y.abs());
                 }
-                for i in 0..N_BODIES {
-                    let b = Self::read_body(&dsm, sys.mem(), i)?;
-                    tree = tree.insert(b, 0.0, 0.0, maxc * 1.01, 0);
+                let mut tree = QNode::Empty;
+                for b in &bodies {
+                    tree = tree.insert(*b, 0.0, 0.0, maxc * 1.01, 0);
                 }
                 let mut interactions = 0u64;
                 for i in self.partition() {
-                    let mut b = Self::read_body(&dsm, sys.mem(), i)?;
+                    let mut b = bodies[i];
                     let (fx, fy, n) = tree.force(b.x, b.y);
                     interactions += n;
-                    b.vx += fx / b.m * DT;
-                    b.vy += fy / b.m * DT;
-                    b.x += b.vx * DT;
-                    b.y += b.vy * DT;
-                    Self::write_body(&dsm, sys.mem(), i, b)?;
+                    if self.fused {
+                        // The seeded race: write the partition now, in the
+                        // same barrier interval peers read it in.
+                        b.vx += fx / b.m * DT;
+                        b.vy += fy / b.m * DT;
+                        b.x += b.vx * DT;
+                        b.y += b.vy * DT;
+                        Self::write_body(&dsm, sys, i, b)?;
+                    } else {
+                        let m = sys.mem();
+                        ArenaCell::<f64>::at(G_FORCE + i * 16).set(&mut m.arena, fx)?;
+                        ArenaCell::<f64>::at(G_FORCE + i * 16 + 8).set(&mut m.arena, fy)?;
+                    }
                 }
                 // Charge the real work: tree build + force interactions.
                 sys.compute((N_BODIES as u64 + interactions) / 2 * US);
@@ -328,10 +375,48 @@ impl App for BarnesHut {
                 let t = sys.gettimeofday();
                 let m = sys.mem();
                 G_CLOCK.set(&mut m.arena, t)?;
-                G_PHASE.set(&mut m.arena, P_BARRIER)?;
+                G_PHASE.set(&mut m.arena, P_BARRIER1)?;
                 Ok(AppStatus::Running)
             }
-            P_BARRIER => {
+            P_BARRIER1 => {
+                let dsm = self.dsm();
+                match dsm.barrier_pump(sys)? {
+                    BarrierStatus::Done => {
+                        G_PHASE.set(&mut sys.mem().arena, P_UPDATE)?;
+                        Ok(AppStatus::Running)
+                    }
+                    BarrierStatus::Working => Ok(AppStatus::Running),
+                    BarrierStatus::Blocked => Ok(AppStatus::Blocked(WaitCond::message())),
+                }
+            }
+            P_UPDATE => {
+                // Phase two: integrate this node's partition from the
+                // scratch forces. Touches (reads and writes) only bodies
+                // this node owns — disjoint from every peer's accesses in
+                // this barrier interval.
+                if self.fused {
+                    // Already integrated in the force phase.
+                    G_PHASE.set(&mut sys.mem().arena, P_BARRIER2)?;
+                    return Ok(AppStatus::Running);
+                }
+                let dsm = self.dsm();
+                let part = self.partition();
+                for i in part.clone() {
+                    let mut b = Self::read_body(&dsm, sys, i)?;
+                    let m = sys.mem();
+                    let fx = ArenaCell::<f64>::at(G_FORCE + i * 16).get(&m.arena)?;
+                    let fy = ArenaCell::<f64>::at(G_FORCE + i * 16 + 8).get(&m.arena)?;
+                    b.vx += fx / b.m * DT;
+                    b.vy += fy / b.m * DT;
+                    b.x += b.vx * DT;
+                    b.y += b.vy * DT;
+                    Self::write_body(&dsm, sys, i, b)?;
+                }
+                sys.compute(part.len() as u64 * US);
+                G_PHASE.set(&mut sys.mem().arena, P_BARRIER2)?;
+                Ok(AppStatus::Running)
+            }
+            P_BARRIER2 => {
                 let dsm = self.dsm();
                 match dsm.barrier_pump(sys)? {
                     BarrierStatus::Done => {
@@ -339,7 +424,7 @@ impl App for BarnesHut {
                         let iter = G_ITER.get(&m.arena)? + 1;
                         G_ITER.set(&mut m.arena, iter)?;
                         let render = iter >= self.iterations || iter % self.display_every == 0;
-                        let next = if render { P_RENDER } else { P_COMPUTE };
+                        let next = if render { P_RENDER } else { P_FORCE };
                         G_PHASE.set(&mut m.arena, next)?;
                         Ok(AppStatus::Running)
                     }
@@ -350,12 +435,12 @@ impl App for BarnesHut {
             P_RENDER => {
                 let dsm = self.dsm();
                 let iter = G_ITER.get(&sys.mem().arena)?;
-                let e = Self::energy(&dsm, sys.mem())?;
+                let e = Self::energy(&dsm, sys)?;
                 sys.visible(progress_token(self.my, iter, e));
                 let next = if iter >= self.iterations {
                     P_DONE
                 } else {
-                    P_COMPUTE
+                    P_FORCE
                 };
                 G_PHASE.set(&mut sys.mem().arena, next)?;
                 Ok(AppStatus::Running)
@@ -382,6 +467,16 @@ pub fn progress_token(node: u32, iter: u64, energy: f64) -> u64 {
 
 /// Builds the standard 4-node computation.
 pub fn cluster(iterations: u64, display_every: u64) -> Vec<Box<dyn App>> {
+    cluster_with(iterations, display_every, false)
+}
+
+/// Builds the seeded-race variant: identical outputs, fused
+/// read-all/write-own phase (see [`BarnesHut::fused`]).
+pub fn cluster_fused(iterations: u64, display_every: u64) -> Vec<Box<dyn App>> {
+    cluster_with(iterations, display_every, true)
+}
+
+fn cluster_with(iterations: u64, display_every: u64, fused: bool) -> Vec<Box<dyn App>> {
     (0..4)
         .map(|i| {
             Box::new(BarnesHut {
@@ -389,6 +484,7 @@ pub fn cluster(iterations: u64, display_every: u64) -> Vec<Box<dyn App>> {
                 n_nodes: 4,
                 iterations,
                 display_every,
+                fused,
             }) as Box<dyn App>
         })
         .collect()

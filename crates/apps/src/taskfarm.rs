@@ -71,6 +71,12 @@ pub struct TaskFarm {
     pub my: u32,
     /// Number of worker nodes (the manager is process `n_workers`).
     pub n_workers: u32,
+    /// Seeded mutation for the `ft-analyze` self-test: peek at the
+    /// lock-protected task counter *outside* the critical section. The
+    /// peeked value is discarded, so results and visibles are unchanged —
+    /// but the access is a genuine entry-consistency violation that both
+    /// the happens-before and the lockset passes must flag.
+    pub racy_read: bool,
 }
 
 impl TaskFarm {
@@ -114,10 +120,10 @@ impl TaskFarm {
         cs
     }
 
-    fn checksum(dsm: &Dsm, mem: &Mem) -> MemResult<u64> {
+    fn checksum(dsm: &Dsm, sys: &mut dyn SysMem) -> MemResult<u64> {
         let mut cs = 0u64;
         for t in 0..N_TASKS {
-            let r: u64 = dsm.read_pod(mem, R_RESULT + t as usize * 8)?;
+            let r: u64 = dsm.read_pod(sys, R_RESULT + t as usize * 8)?;
             cs = cs.rotate_left(7) ^ r;
         }
         Ok(cs)
@@ -150,16 +156,16 @@ impl App for TaskFarm {
             P_CS => {
                 // The self-scheduling critical section: claim the next
                 // task, or discover the queue is drained.
-                let m = sys.mem();
-                let next: u64 = dsm.read_pod(m, R_NEXT)?;
+                let next: u64 = dsm.read_pod(sys, R_NEXT)?;
                 if next < N_TASKS {
-                    dsm.write_pod(m, R_NEXT, next + 1)?;
+                    dsm.write_pod(sys, R_NEXT, next + 1)?;
+                    let m = sys.mem();
                     G_TASK.set(&mut m.arena, next)?;
                     G_MODE.set(&mut m.arena, MODE_WORK)?;
                 } else {
-                    G_MODE.set(&mut m.arena, MODE_BARRIER)?;
+                    G_MODE.set(&mut sys.mem().arena, MODE_BARRIER)?;
                 }
-                G_PHASE.set(&mut m.arena, P_REL)?;
+                G_PHASE.set(&mut sys.mem().arena, P_REL)?;
                 Ok(AppStatus::Running)
             }
             P_REL => {
@@ -177,8 +183,14 @@ impl App for TaskFarm {
             }
             P_WORK => {
                 let t = G_TASK.get(&sys.mem().arena)?;
+                if self.racy_read {
+                    // The seeded bug: read the task counter without the
+                    // lock. The value is thrown away (outputs unchanged);
+                    // the access itself is the finding.
+                    let _peek: u64 = dsm.read_pod(sys, R_NEXT)?;
+                }
                 let digest = Self::work(t);
-                dsm.write_pod(sys.mem(), R_RESULT + t as usize * 8, digest)?;
+                dsm.write_pod(sys, R_RESULT + t as usize * 8, digest)?;
                 // Compute-bound between claims.
                 sys.compute(200 * US);
                 G_PHASE.set(&mut sys.mem().arena, P_ACQ)?;
@@ -195,7 +207,7 @@ impl App for TaskFarm {
             P_FINAL_CS => {
                 // Every worker published every result before entering the
                 // barrier, so this grant carried the complete result set.
-                let cs = Self::checksum(&dsm, sys.mem())?;
+                let cs = Self::checksum(&dsm, sys)?;
                 let m = sys.mem();
                 G_SUM.set(&mut m.arena, cs)?;
                 G_PHASE.set(&mut m.arena, P_FINAL_REL)?;
@@ -227,8 +239,25 @@ impl App for TaskFarm {
 
 /// Builds a farm of `n_workers` workers plus its lock manager.
 pub fn farm(n_workers: u32) -> Vec<Box<dyn App>> {
+    farm_with(n_workers, false)
+}
+
+/// Builds the seeded-mutation farm: identical outputs, but every worker
+/// peeks at the task counter outside the lock (see
+/// [`TaskFarm::racy_read`]).
+pub fn farm_racy(n_workers: u32) -> Vec<Box<dyn App>> {
+    farm_with(n_workers, true)
+}
+
+fn farm_with(n_workers: u32, racy_read: bool) -> Vec<Box<dyn App>> {
     let mut v: Vec<Box<dyn App>> = (0..n_workers)
-        .map(|i| Box::new(TaskFarm { my: i, n_workers }) as Box<dyn App>)
+        .map(|i| {
+            Box::new(TaskFarm {
+                my: i,
+                n_workers,
+                racy_read,
+            }) as Box<dyn App>
+        })
         .collect();
     v.push(Box::new(ft_dsm::lock::ManagerApp::new(
         1,

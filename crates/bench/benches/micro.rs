@@ -109,7 +109,9 @@ fn bench_dsm() {
     let mut x = 0u64;
     bench("dsm_write_and_mark_dirty", 50_000, || {
         x = x.wrapping_add(1);
-        dsm.write_pod(&mut mem, (x as usize * 8) % 2048, x).unwrap();
+        // The raw (unrecorded) variant: no simulator, so no access log.
+        dsm.write_pod_raw(&mut mem, (x as usize * 8) % 2048, x)
+            .unwrap();
     });
 }
 

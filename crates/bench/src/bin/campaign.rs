@@ -48,23 +48,23 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => {
                 args.threads = value("--threads")?
                     .parse()
-                    .map_err(|e| format!("--threads: {e}"))?
+                    .map_err(|e| format!("--threads: {e}"))?;
             }
             "--quick" => args.cfg = CampaignConfig::quick(),
             "--target-crashes" => {
                 args.cfg.target_crashes = value("--target-crashes")?
                     .parse()
-                    .map_err(|e| format!("--target-crashes: {e}"))?
+                    .map_err(|e| format!("--target-crashes: {e}"))?;
             }
             "--max-trials" => {
                 args.cfg.max_trials = value("--max-trials")?
                     .parse()
-                    .map_err(|e| format!("--max-trials: {e}"))?
+                    .map_err(|e| format!("--max-trials: {e}"))?;
             }
             "--table2-trials" => {
                 args.cfg.table2_trials = value("--table2-trials")?
                     .parse()
-                    .map_err(|e| format!("--table2-trials: {e}"))?
+                    .map_err(|e| format!("--table2-trials: {e}"))?;
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
             other => return Err(format!("unknown flag {other}")),

@@ -22,7 +22,10 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
     };
     line(
         &mut out,
-        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &header
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>(),
     );
     let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
     out.push_str(&"-".repeat(total));

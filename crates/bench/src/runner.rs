@@ -48,7 +48,7 @@ impl SeedStream {
 /// machine's available parallelism, clamped to at least one.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1)
 }
 

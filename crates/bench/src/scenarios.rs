@@ -147,6 +147,22 @@ pub fn taskfarm(seed: u64, workers: u32) -> Built {
     built(sim, ft_apps::taskfarm::farm(workers))
 }
 
+/// The seeded-mutation task farm for the `ft-analyze` self-test: workers
+/// peek at the lock-protected task counter outside the critical section
+/// (outputs unchanged; both race passes must flag the access).
+pub fn taskfarm_racy(seed: u64, workers: u32) -> Built {
+    let sim = Simulator::new(SimConfig::one_node_each(workers as usize + 1, seed));
+    built(sim, ft_apps::taskfarm::farm_racy(workers))
+}
+
+/// The seeded-race Barnes-Hut for the `ft-analyze` self-test: the force
+/// and update phases are fused back into one barrier interval (outputs
+/// unchanged; the happens-before pass must flag the partition pages).
+pub fn treadmarks_fused(seed: u64, iterations: u64) -> Built {
+    let sim = Simulator::new(SimConfig::one_node_each(4, seed));
+    built(sim, barnes_hut::cluster_fused(iterations, 50))
+}
+
 /// The postgres session: `requests` database requests at 50 ms spacing
 /// (compute-heavy, syscall-light — the Table 2 contrast with nvi).
 pub fn postgres(seed: u64, requests: usize) -> Built {

@@ -1,0 +1,146 @@
+//! The shared-memory access stream: DSM-layer operation records for the
+//! `ft-analyze` race passes.
+//!
+//! The event trace ([`crate::trace`]) captures the *causal* structure of a
+//! run — sends, receives, commits — but deliberately abstracts away what
+//! the application did to distributed shared memory between events. The
+//! happens-before and lockset analyses need exactly that missing layer:
+//! which bytes of the DSM region each process read and wrote, and where
+//! the synchronization operations (lock acquire/release, barrier
+//! completion) fell relative to those accesses.
+//!
+//! A [`ShmRecord`] therefore carries no clock of its own. It is stamped
+//! with the process's **trace position** at the instant of the operation:
+//! an operation at position `pos` is ordered after the process's event
+//! `pos - 1` and before its event `pos`. The analyzer recovers the
+//! operation's happens-before knowledge from the clock of event `pos - 1`
+//! — every synchronization edge (message, lock grant, barrier diff,
+//! two-phase-commit control round) is already materialized as recorded
+//! message events, so the access stream composes with the trace without
+//! any new edge machinery:
+//!
+//! * access `a` on process `p` at position `i` happens-before access `b`
+//!   on process `q ≠ p` at position `j` iff `clock(q, j).get(p) > i`,
+//!   where `clock(q, j)` is the clock of `q`'s event `j - 1`;
+//! * on the same process, stream order is program order.
+//!
+//! Records are appended in global execution order by the simulator; the
+//! stream is exactly as deterministic as the trace itself.
+
+use crate::event::ProcessId;
+
+/// One DSM-layer shared-memory operation, as reported by the DSM
+/// frontend. Offsets are in bytes from the start of the shared region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShmOp {
+    /// Application-level read of `len` bytes at region offset `off`.
+    Read {
+        /// Byte offset in the shared region.
+        off: u32,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// Application-level write of `len` bytes at region offset `off`.
+    Write {
+        /// Byte offset in the shared region.
+        off: u32,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// A lock acquisition completed (the grant was consumed). Subsequent
+    /// accesses by this process hold `lock` until the matching release.
+    LockAcq {
+        /// Lock id.
+        lock: u32,
+    },
+    /// A lock release was issued.
+    LockRel {
+        /// Lock id.
+        lock: u32,
+    },
+    /// A barrier round completed on this process; `round` is the number
+    /// of rounds this process has now completed. The lockset pass resets
+    /// its per-location state machine at round boundaries (barrier-
+    /// synchronized phases must not intersect their candidate locksets).
+    Barrier {
+        /// Completed barrier rounds on this process.
+        round: u64,
+    },
+}
+
+/// A stamped record in the global access stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShmRecord {
+    /// The process performing the operation.
+    pub pid: ProcessId,
+    /// The process's trace position at the operation: the number of
+    /// events already recorded for `pid`. The operation is ordered after
+    /// event `pos - 1` and before event `pos` of `pid`.
+    pub pos: u64,
+    /// The operation.
+    pub op: ShmOp,
+}
+
+/// The whole access stream of a run, in global execution order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShmLog {
+    /// Records in the order the simulator executed them.
+    pub records: Vec<ShmRecord>,
+}
+
+impl ShmLog {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no operations were recorded (non-DSM workloads).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of data accesses (reads + writes), excluding sync records.
+    pub fn data_accesses(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.op, ShmOp::Read { .. } | ShmOp::Write { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_access_count_excludes_sync_records() {
+        let log = ShmLog {
+            records: vec![
+                ShmRecord {
+                    pid: ProcessId(0),
+                    pos: 0,
+                    op: ShmOp::Read { off: 0, len: 8 },
+                },
+                ShmRecord {
+                    pid: ProcessId(0),
+                    pos: 1,
+                    op: ShmOp::LockAcq { lock: 0 },
+                },
+                ShmRecord {
+                    pid: ProcessId(1),
+                    pos: 0,
+                    op: ShmOp::Write { off: 8, len: 8 },
+                },
+                ShmRecord {
+                    pid: ProcessId(1),
+                    pos: 2,
+                    op: ShmOp::Barrier { round: 1 },
+                },
+            ],
+        };
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.data_accesses(), 2);
+        assert!(!log.is_empty());
+        assert!(ShmLog::default().is_empty());
+    }
+}

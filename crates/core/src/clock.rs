@@ -304,4 +304,101 @@ mod tests {
         c.tick(p(2));
         assert_eq!(c.to_string(), "<1,0,1>");
     }
+
+    #[test]
+    fn empty_clocks_compare_as_equal_not_concurrent() {
+        // Zero-process clocks: vacuously `<=` each other, so never
+        // concurrent, and the canonical representation keeps them equal.
+        let a = VectorClock::new(0);
+        let b = VectorClock::new(0);
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert!(a.le(&b) && b.le(&a));
+        assert!(!a.concurrent(&b));
+        assert_eq!(a, b);
+        assert_eq!(a.components(), &[] as &[u64]);
+        assert_eq!(a.to_string(), "<>");
+        assert_eq!(format!("{a:?}"), "VectorClock { components: [] }");
+    }
+
+    #[test]
+    fn unequal_lengths_are_never_ordered_hence_concurrent() {
+        // `le` is defined only within one computation; clocks over
+        // different process counts refuse to order in either direction,
+        // which `concurrent` therefore reports as true. Pinned so the
+        // analyzers can rely on it instead of panicking like `join`.
+        let mut a = VectorClock::new(2);
+        a.tick(p(0));
+        let mut b = VectorClock::new(3);
+        b.tick(p(0));
+        b.tick(p(1));
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        assert!(a.concurrent(&b));
+        // Even the zero clocks of different widths stay unordered.
+        assert!(!VectorClock::new(2).le(&VectorClock::new(3)));
+    }
+
+    #[test]
+    fn le_is_reflexive_and_concurrent_is_irreflexive() {
+        for n in [0usize, 1, 3, 4, 5, 9] {
+            let mut c = VectorClock::new(n);
+            for i in 0..n {
+                for _ in 0..=i {
+                    c.tick(p(i as u32));
+                }
+            }
+            assert!(c.le(&c), "le must be reflexive at n={n}");
+            assert!(!c.concurrent(&c), "self-concurrency at n={n}");
+            assert_eq!(c.clone(), c);
+        }
+    }
+
+    #[test]
+    fn inline_to_heap_boundary_is_seamless() {
+        // n = 4 is the last inline width, n = 5 the first spilled one:
+        // every operation must behave identically across the boundary.
+        for n in [INLINE_COMPONENTS, INLINE_COMPONENTS + 1] {
+            let mut a = VectorClock::new(n);
+            let mut b = VectorClock::new(n);
+            for i in 0..n {
+                assert_eq!(a.tick(p(i as u32)), 1);
+            }
+            b.tick(p(0));
+            b.tick(p(0));
+            assert!(!a.le(&b) && !b.le(&a), "concurrent at n={n}");
+            assert!(a.concurrent(&b));
+            let mut j = a.clone();
+            j.join(&b);
+            let mut expect = vec![1u64; n];
+            expect[0] = 2;
+            assert_eq!(j.components(), &expect[..], "join at n={n}");
+            assert!(a.le(&j) && b.le(&j));
+            // Equality and hashing see through the representation: a
+            // clock is equal to its clone regardless of storage.
+            assert_eq!(j.clone(), j);
+            assert_eq!(j.len(), n);
+            assert_eq!(
+                format!("{j:?}"),
+                format!("VectorClock {{ components: {:?} }}", j.components()),
+                "debug form is representation-independent at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_happens_before_crossing_four_processes() {
+        // The same message scenario at the inline width and just past
+        // it: happens-before answers must not depend on storage.
+        for n in [INLINE_COMPONENTS, INLINE_COMPONENTS + 1] {
+            let last = p((n - 1) as u32);
+            let mut send = VectorClock::new(n);
+            send.tick(p(0));
+            let mut recv = VectorClock::new(n);
+            recv.tick(last);
+            recv.join(&send);
+            assert!(happens_before(p(0), &send, last, &recv), "n={n}");
+            assert!(!happens_before(last, &recv, p(0), &send), "n={n}");
+        }
+    }
 }

@@ -21,7 +21,7 @@
 //! it is a crash state, or all of its outgoing edges are colored (and it has
 //! at least one), or some colored outgoing edge is fixed non-deterministic.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Index of a state in a [`StateGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -324,8 +324,11 @@ pub struct ProcessRun {
     pub path: Vec<EdgeId>,
     /// Path positions of this process's commits (see [`check_lose_work`]).
     pub commits_at: Vec<usize>,
-    /// For each executed receive: path position → metadata.
-    pub recv_meta: HashMap<usize, RecvMeta>,
+    /// For each executed receive: path position → metadata. A `BTreeMap`
+    /// because [`multi_process_dangerous`] iterates it: the per-entry edge
+    /// reclassification is order-independent, but keeping the walk ordered
+    /// costs nothing and keeps the determinism lint's audit trivial.
+    pub recv_meta: BTreeMap<usize, RecvMeta>,
 }
 
 impl ProcessRun {
@@ -581,7 +584,7 @@ mod tests {
             start: a0,
             path: vec![EdgeId(0)],
             commits_at: vec![0],
-            recv_meta: HashMap::new(),
+            recv_meta: BTreeMap::new(),
         };
 
         // Receiver: recv forks to done or crash (like figure 6C but with a
@@ -596,7 +599,7 @@ mod tests {
         recv_g.add_edge(b0, bad, EdgeKind::TransientNd, "recv-bad");
         recv_g.add_edge(good, done, EdgeKind::Det, "finish");
         recv_g.add_edge(bad, crash, EdgeKind::Det, "boom");
-        let mut recv_meta = HashMap::new();
+        let mut recv_meta = BTreeMap::new();
         recv_meta.insert(
             0usize,
             RecvMeta {
@@ -637,7 +640,7 @@ mod tests {
             start: a0,
             path: vec![EdgeId(0), EdgeId(1)],
             commits_at: vec![],
-            recv_meta: HashMap::new(),
+            recv_meta: BTreeMap::new(),
         };
 
         let mut recv_g = StateGraph::new();
@@ -649,7 +652,7 @@ mod tests {
         recv_g.add_edge(b0, b1, EdgeKind::FixedNd, "recv");
         recv_g.add_edge(b1, crash, EdgeKind::Det, "boom");
         recv_g.add_edge(b0, done, EdgeKind::FixedNd, "recv-alt");
-        let mut recv_meta = HashMap::new();
+        let mut recv_meta = BTreeMap::new();
         recv_meta.insert(
             0usize,
             RecvMeta {
@@ -684,7 +687,7 @@ mod tests {
             start: a0,
             path: vec![EdgeId(0)],
             commits_at: vec![0],
-            recv_meta: HashMap::new(),
+            recv_meta: BTreeMap::new(),
         };
         let mut recv_g = StateGraph::new();
         let b0 = recv_g.add_state("b0");
@@ -692,7 +695,7 @@ mod tests {
         let done = recv_g.add_state("done");
         recv_g.add_edge(b0, b1, EdgeKind::TransientNd, "recv");
         recv_g.add_edge(b1, done, EdgeKind::Det, "finish");
-        let mut recv_meta = HashMap::new();
+        let mut recv_meta = BTreeMap::new();
         recv_meta.insert(
             0usize,
             RecvMeta {

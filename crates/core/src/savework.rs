@@ -104,6 +104,8 @@ fn build_index(
     Vec<ProcessIndex>,
     std::collections::HashMap<u64, Vec<EventId>>,
 ) {
+    // Determinism: the map is only read back by group-id key (`groups[&g]`),
+    // never iterated, so hash order cannot reach any output.
     let mut groups: std::collections::HashMap<u64, Vec<EventId>> = std::collections::HashMap::new();
     let idx = (0..trace.num_processes())
         .map(|p| {

@@ -102,7 +102,8 @@ pub struct TraceBuilder {
     causal_clocks: Vec<VectorClock>,
     trace: Trace,
     /// Clocks captured at each send (happens-before, causal), keyed by
-    /// message id, consumed at recv.
+    /// message id, consumed at recv. Determinism: keyed insert/remove
+    /// only, never iterated — hash order cannot reach any output.
     msg_clocks: HashMap<MsgId, (VectorClock, VectorClock)>,
     next_msg: u64,
     next_commit: u64,

@@ -263,6 +263,10 @@ impl Syscalls for DcSys<'_, '_> {
     fn note_fault_activation(&mut self, fault: u32) {
         self.ctx.note_fault_activation(fault);
     }
+
+    fn shm_op(&mut self, op: ft_core::access::ShmOp) {
+        self.ctx.shm_op(op);
+    }
 }
 
 impl SysMem for DcSys<'_, '_> {

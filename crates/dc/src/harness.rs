@@ -49,6 +49,10 @@ pub struct DcReport {
     /// Number of failures that exhausted the recovery budget (the run
     /// could not be completed — a Lose-work casualty).
     pub abandoned: u32,
+    /// DSM shared-memory access stream (empty for non-DSM workloads).
+    /// Failure-free runs yield a replay-free stream suitable for the
+    /// `ft-analyze` race passes.
+    pub shm: ft_core::access::ShmLog,
 }
 
 impl DcReport {
@@ -60,6 +64,23 @@ impl DcReport {
     /// Visible token sequence (in output order).
     pub fn visible_tokens(&self) -> Vec<u64> {
         self.visibles.iter().map(|&(_, _, t)| t).collect()
+    }
+
+    /// The run's commit ordering: every commit event in the trace, in
+    /// process-major order, with its coordinated-round group (if any).
+    /// This is the coverage side of the Save-work obligation audit —
+    /// same-group commits are atomic with one another, so the audit's
+    /// closure treats a round as ordered by its best-ordered member.
+    pub fn commit_order(&self) -> Vec<(ft_core::event::EventId, Option<u64>)> {
+        let mut out = Vec::new();
+        for p in 0..self.trace.num_processes() {
+            for e in self.trace.process(ft_core::event::ProcessId(p as u32)) {
+                if e.kind.is_commit() {
+                    out.push((e.id, e.atomic_group));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -195,6 +216,7 @@ impl DcHarness {
         }
         let net = self.sim.net_stats();
         let runtime = self.sim.now();
+        let shm = self.sim.take_shm_log();
         let (trace, visibles, _) = self.sim.finish();
         DcReport {
             trace,
@@ -207,6 +229,7 @@ impl DcHarness {
             net,
             arena,
             abandoned: self.abandoned,
+            shm,
         }
     }
 }

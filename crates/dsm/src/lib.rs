@@ -31,6 +31,7 @@
 pub mod lock;
 mod wire;
 
+use ft_core::access::ShmOp;
 use ft_mem::error::{MemFault, MemResult};
 use ft_mem::mem::{ArenaCell, Mem};
 use ft_mem::pod::Pod;
@@ -168,28 +169,80 @@ impl Dsm {
         Ok(())
     }
 
-    /// Reads raw bytes at a region-relative offset.
-    pub fn read(&self, mem: &Mem, off: usize, len: usize) -> MemResult<Vec<u8>> {
+    /// Reads bytes at a region-relative offset, reporting the access to
+    /// the shared-memory stream (the `ft-analyze` race passes consume it).
+    pub fn read(&self, sys: &mut dyn SysMem, off: usize, len: usize) -> MemResult<Vec<u8>> {
+        let out = self.read_raw(sys.mem(), off, len)?;
+        sys.shm_op(ShmOp::Read {
+            off: off as u32,
+            len: len as u32,
+        });
+        Ok(out)
+    }
+
+    /// Reads a [`Pod`] value at a region-relative offset, reporting the
+    /// access to the shared-memory stream.
+    pub fn read_pod<T: Pod>(&self, sys: &mut dyn SysMem, off: usize) -> MemResult<T> {
+        let v = self.read_pod_raw(sys.mem(), off)?;
+        sys.shm_op(ShmOp::Read {
+            off: off as u32,
+            len: T::SIZE as u32,
+        });
+        Ok(v)
+    }
+
+    /// Writes bytes at a region-relative offset, marking the touched DSM
+    /// pages dirty and reporting the access to the shared-memory stream.
+    pub fn write(&self, sys: &mut dyn SysMem, off: usize, bytes: &[u8]) -> MemResult<()> {
+        let len = bytes.len();
+        self.write_raw(sys.mem(), off, bytes)?;
+        sys.shm_op(ShmOp::Write {
+            off: off as u32,
+            len: len as u32,
+        });
+        Ok(())
+    }
+
+    /// Writes a [`Pod`] value at a region-relative offset, reporting the
+    /// access to the shared-memory stream.
+    pub fn write_pod<T: Pod>(&self, sys: &mut dyn SysMem, off: usize, value: T) -> MemResult<()> {
+        self.write_pod_raw(sys.mem(), off, value)?;
+        sys.shm_op(ShmOp::Write {
+            off: off as u32,
+            len: T::SIZE as u32,
+        });
+        Ok(())
+    }
+
+    /// Reads raw bytes at a region-relative offset without reporting an
+    /// access record. For protocol internals (diff computation, twin
+    /// maintenance) and replica-local initialization — application reads
+    /// of live shared data should go through [`Dsm::read`].
+    pub fn read_raw(&self, mem: &Mem, off: usize, len: usize) -> MemResult<Vec<u8>> {
         self.check(off, len)?;
         Ok(mem.arena.read(self.region_off + off, len)?.to_vec())
     }
 
-    /// Reads a [`Pod`] value at a region-relative offset.
-    pub fn read_pod<T: Pod>(&self, mem: &Mem, off: usize) -> MemResult<T> {
+    /// Reads a [`Pod`] value without reporting an access record.
+    pub fn read_pod_raw<T: Pod>(&self, mem: &Mem, off: usize) -> MemResult<T> {
         self.check(off, T::SIZE)?;
         mem.arena.read_pod(self.region_off + off)
     }
 
     /// Writes bytes at a region-relative offset, marking the touched DSM
-    /// pages dirty (they will be diffed at the next barrier).
-    pub fn write(&self, mem: &mut Mem, off: usize, bytes: &[u8]) -> MemResult<()> {
+    /// pages dirty (they will be diffed at the next barrier), without
+    /// reporting an access record. For protocol internals and for
+    /// replica-local initialization before [`Dsm::commit_baseline`] —
+    /// application writes of live shared data should go through
+    /// [`Dsm::write`].
+    pub fn write_raw(&self, mem: &mut Mem, off: usize, bytes: &[u8]) -> MemResult<()> {
         self.check(off, bytes.len())?;
         mem.arena.write(self.region_off + off, bytes)?;
         self.mark_dirty(mem, off, bytes.len())
     }
 
-    /// Writes a [`Pod`] value at a region-relative offset.
-    pub fn write_pod<T: Pod>(&self, mem: &mut Mem, off: usize, value: T) -> MemResult<()> {
+    /// Writes a [`Pod`] value without reporting an access record.
+    pub fn write_pod_raw<T: Pod>(&self, mem: &mut Mem, off: usize, value: T) -> MemResult<()> {
         self.check(off, T::SIZE)?;
         mem.arena.write_pod(self.region_off + off, value)?;
         self.mark_dirty(mem, off, T::SIZE)
@@ -469,6 +522,10 @@ impl Dsm {
                     mask_c.set(&mut m.arena, 0)?;
                     round_c.set(&mut m.arena, round + 1)?;
                     phase.set(&mut m.arena, 0)?;
+                    // Barrier exit: everything before this node's entry
+                    // happens-before everything after any node's exit of
+                    // the same round (all-to-all diff exchange).
+                    sys.shm_op(ShmOp::Barrier { round: round + 1 });
                     return Ok(BarrierStatus::Done);
                 }
                 match sys.try_recv() {
@@ -539,8 +596,8 @@ mod tests {
     fn read_write_roundtrip_marks_dirty() {
         let mut mem = big_mem();
         let dsm = Dsm::init(&mut mem, 0, 2, 4).unwrap();
-        dsm.write_pod(&mut mem, 100, 0xABCDu64).unwrap();
-        assert_eq!(dsm.read_pod::<u64>(&mem, 100).unwrap(), 0xABCD);
+        dsm.write_pod_raw(&mut mem, 100, 0xABCDu64).unwrap();
+        assert_eq!(dsm.read_pod_raw::<u64>(&mem, 100).unwrap(), 0xABCD);
         let diffs = dsm.compute_diffs(&mem).unwrap();
         assert_eq!(diffs.len(), 1);
         assert_eq!(diffs[0].page, 0);
@@ -550,8 +607,8 @@ mod tests {
     fn diffs_are_byte_granular() {
         let mut mem = big_mem();
         let dsm = Dsm::init(&mut mem, 0, 2, 4).unwrap();
-        dsm.write(&mut mem, 10, &[1, 2, 3]).unwrap();
-        dsm.write(&mut mem, 500, &[9]).unwrap();
+        dsm.write_raw(&mut mem, 10, &[1, 2, 3]).unwrap();
+        dsm.write_raw(&mut mem, 500, &[9]).unwrap();
         let diffs = dsm.compute_diffs(&mem).unwrap();
         assert_eq!(diffs[0].runs.len(), 2);
         assert_eq!(diffs[0].runs[0], (10, vec![1, 2, 3]));
@@ -565,15 +622,15 @@ mod tests {
         let dsm_a = Dsm::init(&mut a, 0, 2, 4).unwrap();
         let dsm_b = Dsm::init(&mut b, 1, 2, 4).unwrap();
         // Same page, disjoint bytes — the multiple-writer case.
-        dsm_a.write(&mut a, 0, &[1; 8]).unwrap();
-        dsm_b.write(&mut b, 8, &[2; 8]).unwrap();
+        dsm_a.write_raw(&mut a, 0, &[1; 8]).unwrap();
+        dsm_b.write_raw(&mut b, 8, &[2; 8]).unwrap();
         let da = dsm_a.compute_diffs(&a).unwrap();
         let db = dsm_b.compute_diffs(&b).unwrap();
         dsm_a.apply_diffs(&mut a, &db).unwrap();
         dsm_b.apply_diffs(&mut b, &da).unwrap();
         assert_eq!(
-            dsm_a.read(&a, 0, 16).unwrap(),
-            dsm_b.read(&b, 0, 16).unwrap()
+            dsm_a.read_raw(&a, 0, 16).unwrap(),
+            dsm_b.read_raw(&b, 0, 16).unwrap()
         );
     }
 
@@ -581,9 +638,9 @@ mod tests {
     fn out_of_region_access_fails() {
         let mut mem = big_mem();
         let dsm = Dsm::init(&mut mem, 0, 2, 2).unwrap();
-        assert!(dsm.read(&mem, 2 * DSM_PAGE - 4, 8).is_err());
-        assert!(dsm.write_pod(&mut mem, 2 * DSM_PAGE, 0u64).is_err());
-        assert!(dsm.read_pod::<u64>(&mem, usize::MAX - 100).is_err());
+        assert!(dsm.read_raw(&mem, 2 * DSM_PAGE - 4, 8).is_err());
+        assert!(dsm.write_pod_raw(&mut mem, 2 * DSM_PAGE, 0u64).is_err());
+        assert!(dsm.read_pod_raw::<u64>(&mem, usize::MAX - 100).is_err());
     }
 
     #[test]
@@ -661,7 +718,7 @@ mod tests {
         let payload = wire::encode_diffs(diffs);
         let n = dsm.apply_serialized_diffs(&mut mem, &payload).unwrap();
         assert_eq!(n, 3);
-        assert_eq!(dsm.read(&mem, DSM_PAGE + 4, 3).unwrap(), vec![7, 8, 9]);
+        assert_eq!(dsm.read_raw(&mem, DSM_PAGE + 4, 3).unwrap(), vec![7, 8, 9]);
         // Folded into the twin: these bytes are received state, so they
         // must not show up as this node's own diffs.
         assert!(dsm.compute_diffs(&mem).unwrap().is_empty());
@@ -671,14 +728,14 @@ mod tests {
     fn refresh_twin_clears_dirty() {
         let mut mem = big_mem();
         let dsm = Dsm::init(&mut mem, 0, 2, 4).unwrap();
-        dsm.write(&mut mem, 0, &[5; 32]).unwrap();
+        dsm.write_raw(&mut mem, 0, &[5; 32]).unwrap();
         dsm.refresh_twin(&mut mem).unwrap();
         assert!(dsm.compute_diffs(&mem).unwrap().is_empty());
         // New writes diff against the refreshed twin; writing the same
         // bytes again produces no diff.
-        dsm.write(&mut mem, 0, &[5; 32]).unwrap();
+        dsm.write_raw(&mut mem, 0, &[5; 32]).unwrap();
         assert!(dsm.compute_diffs(&mem).unwrap().is_empty());
-        dsm.write(&mut mem, 0, &[6]).unwrap();
+        dsm.write_raw(&mut mem, 0, &[6]).unwrap();
         assert_eq!(dsm.compute_diffs(&mem).unwrap().len(), 1);
     }
 }

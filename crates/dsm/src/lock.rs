@@ -169,6 +169,9 @@ impl Dsm {
                             sys.compute((applied as u64 / 256 + 1) * US);
                         }
                         phase.set(&mut sys.mem().arena, PHASE_HELD)?;
+                        // Acquire edge: the previous holder's release
+                        // happens-before this critical section.
+                        sys.shm_op(ft_core::access::ShmOp::LockAcq { lock });
                         Ok(LockStatus::Granted)
                     }
                     _ => Err(MemFault::InvariantViolated { check: 0xDA }),
@@ -187,6 +190,10 @@ impl Dsm {
         if phase.get(&sys.mem().arena)? != PHASE_HELD {
             return Err(MemFault::InvariantViolated { check: 0xDC });
         }
+        // Release edge: recorded before the publishing send, so the
+        // critical section's accesses sit between acquire and release in
+        // the stream.
+        sys.shm_op(ft_core::access::ShmOp::LockRel { lock });
         let diffs = self.serialize_my_diffs(sys.mem())?;
         sys.send(manager, LockMsg::Rel { lock, diffs }.encode())
             .expect("manager exists");

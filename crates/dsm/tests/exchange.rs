@@ -42,10 +42,9 @@ impl App for Worker {
         match phase.get(&sys.mem().arena)? {
             0 => {
                 // Compute: bump my slot.
-                let m = sys.mem();
                 let off = self.my as usize * 8;
-                let v = dsm.read_pod::<u64>(m, off)?;
-                dsm.write_pod(m, off, v + self.my as u64 + 1)?;
+                let v = dsm.read_pod::<u64>(sys, off)?;
+                dsm.write_pod(sys, off, v + self.my as u64 + 1)?;
                 sys.compute(200 * US);
                 phase.set(&mut sys.mem().arena, 1)?;
                 Ok(AppStatus::Running)
@@ -61,10 +60,10 @@ impl App for Worker {
                 BarrierStatus::Blocked => Ok(AppStatus::Blocked(WaitCond::message())),
             },
             2 => {
-                let m = sys.mem();
-                let sum: u64 = (0..NODES)
-                    .map(|i| dsm.read_pod::<u64>(m, i as usize * 8).unwrap_or(0))
-                    .sum();
+                let mut sum = 0u64;
+                for i in 0..NODES {
+                    sum += dsm.read_pod::<u64>(sys, i as usize * 8).unwrap_or(0);
+                }
                 sys.visible(10_000 * (self.my as u64 + 1) + sum);
                 phase.set(&mut sys.mem().arena, 3)?;
                 Ok(AppStatus::Running)
@@ -183,10 +182,9 @@ fn uneven_node_speeds_exercise_the_early_diff_stash() {
             let dsm = reconstruct(self.my);
             match phase.get(&sys.mem().arena)? {
                 0 => {
-                    let m = sys.mem();
                     let off = self.my as usize * 8;
-                    let v = dsm.read_pod::<u64>(m, off)?;
-                    dsm.write_pod(m, off, v + self.my as u64 + 1)?;
+                    let v = dsm.read_pod::<u64>(sys, off)?;
+                    dsm.write_pod(sys, off, v + self.my as u64 + 1)?;
                     // Wildly uneven compute times.
                     sys.compute(50 * US + self.my as u64 * 500 * US);
                     phase.set(&mut sys.mem().arena, 1)?;
@@ -194,11 +192,11 @@ fn uneven_node_speeds_exercise_the_early_diff_stash() {
                 }
                 1 => match dsm.barrier_pump(sys)? {
                     BarrierStatus::Done => {
-                        let m = sys.mem();
-                        let r = dsm.round(m)?;
-                        let sum: u64 = (0..NODES)
-                            .map(|i| dsm.read_pod::<u64>(m, i as usize * 8).unwrap_or(0))
-                            .sum();
+                        let r = dsm.round(sys.mem())?;
+                        let mut sum = 0u64;
+                        for i in 0..NODES {
+                            sum += dsm.read_pod::<u64>(sys, i as usize * 8).unwrap_or(0);
+                        }
                         sys.visible(r * 1_000_000 + sum * 10 + self.my as u64);
                         let next = if r >= ROUNDS { 2 } else { 0 };
                         phase.set(&mut sys.mem().arena, next)?;

@@ -92,9 +92,9 @@ impl App for Worker {
             P_CS => {
                 // The protected read-modify-write: lost updates here are
                 // exactly what mutual exclusion must prevent.
+                let v = dsm.read_pod::<u64>(sys, R_COUNTER)?;
+                dsm.write_pod(sys, R_COUNTER, v + 1)?;
                 let m = sys.mem();
-                let v = dsm.read_pod::<u64>(m, R_COUNTER)?;
-                dsm.write_pod(m, R_COUNTER, v + 1)?;
                 let n = incs.get(&m.arena)? + 1;
                 incs.set(&mut m.arena, n)?;
                 sys.compute(50 * US);
@@ -109,12 +109,12 @@ impl App for Worker {
             P_FINAL => {
                 // Final critical section: set my done flag, observe the
                 // counter and how many workers have finished.
-                let m = sys.mem();
-                dsm.write(m, R_DONE + self.my as usize, &[1])?;
-                let counter = dsm.read_pod::<u64>(m, R_COUNTER)?;
-                let done: u64 = (0..WORKERS)
-                    .map(|i| dsm.read(m, R_DONE + i as usize, 1).map(|b| b[0] as u64))
-                    .sum::<MemResult<u64>>()?;
+                dsm.write(sys, R_DONE + self.my as usize, &[1])?;
+                let counter = dsm.read_pod::<u64>(sys, R_COUNTER)?;
+                let mut done = 0u64;
+                for i in 0..WORKERS {
+                    done += dsm.read(sys, R_DONE + i as usize, 1)?[0] as u64;
+                }
                 sys.visible(done * 1000 + counter);
                 phase.set(&mut sys.mem().arena, P_REL_FINAL)?;
                 Ok(AppStatus::Running)
@@ -251,9 +251,8 @@ impl App for TwoLockWorker {
             }
             1 | 4 => {
                 let off = if p == 1 { R_A } else { R_B };
-                let m = sys.mem();
-                let v = dsm.read_pod::<u64>(m, off)?;
-                dsm.write_pod(m, off, v + 1)?;
+                let v = dsm.read_pod::<u64>(sys, off)?;
+                dsm.write_pod(sys, off, v + 1)?;
                 sys.compute(30 * US);
                 phase.set(&mut sys.mem().arena, p + 1)?;
                 Ok(AppStatus::Running)
@@ -277,12 +276,12 @@ impl App for TwoLockWorker {
                 } else {
                     (R_B, R_DONE_B)
                 };
-                let m = sys.mem();
-                dsm.write(m, done_base + self.my as usize, &[1])?;
-                let counter = dsm.read_pod::<u64>(m, ctr)?;
-                let done: u64 = (0..WORKERS)
-                    .map(|i| dsm.read(m, done_base + i as usize, 1).map(|b| b[0] as u64))
-                    .sum::<MemResult<u64>>()?;
+                dsm.write(sys, done_base + self.my as usize, &[1])?;
+                let counter = dsm.read_pod::<u64>(sys, ctr)?;
+                let mut done = 0u64;
+                for i in 0..WORKERS {
+                    done += dsm.read(sys, done_base + i as usize, 1)?[0] as u64;
+                }
                 // Tag which lock this observation is for in the high digit.
                 let which = if p == 7 { 1_000_000 } else { 2_000_000 };
                 sys.visible(which + done * 1000 + counter);

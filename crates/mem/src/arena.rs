@@ -746,7 +746,10 @@ mod tests {
 
     #[test]
     fn commit_crash_point_names_are_stable() {
-        let names: Vec<&str> = CommitCrashPoint::ALL.iter().map(|p| p.name()).collect();
+        let names: Vec<&str> = CommitCrashPoint::ALL
+            .iter()
+            .map(super::CommitCrashPoint::name)
+            .collect();
         assert_eq!(names, ["pre-log", "mid-undo-walk", "post-bump"]);
         assert_eq!(CommitCrashPoint::MidUndoWalk.to_string(), "mid-undo-walk");
     }

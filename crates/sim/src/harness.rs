@@ -76,6 +76,9 @@ impl Syscalls for PlainSys<'_, '_> {
     fn note_fault_activation(&mut self, fault: u32) {
         self.ctx.note_fault_activation(fault);
     }
+    fn shm_op(&mut self, op: ft_core::access::ShmOp) {
+        self.ctx.shm_op(op);
+    }
 }
 
 impl SysMem for PlainSys<'_, '_> {
@@ -95,8 +98,12 @@ pub struct PlainReport {
     pub runtime: SimTime,
     /// True if every process ran to completion.
     pub all_done: bool,
-    /// Final contents of node 0's files (inspection).
+    /// Final contents of node 0's files (inspection). Determinism: tests
+    /// look files up by name and compare maps with the order-insensitive
+    /// `PartialEq`; the map is never iterated into ordered output.
     pub files: std::collections::HashMap<String, Vec<u8>>,
+    /// DSM shared-memory access stream (empty for non-DSM workloads).
+    pub shm: ft_core::access::ShmLog,
 }
 
 /// Runs `apps` to completion (or deadlock) with no recovery; killed or
@@ -135,6 +142,7 @@ pub fn run_plain_on(mut sim: Simulator, apps: &mut [Box<dyn App>]) -> PlainRepor
     } else {
         sim.kernel_of(ProcessId(0)).files_snapshot()
     };
+    let shm = sim.take_shm_log();
     let (trace, visibles, _) =
         std::mem::replace(sim, Simulator::new(SimConfig::single_node(0, 0))).finish();
     PlainReport {
@@ -143,6 +151,7 @@ pub fn run_plain_on(mut sim: Simulator, apps: &mut [Box<dyn App>]) -> PlainRepor
         runtime: now,
         all_done,
         files,
+        shm,
     }
 }
 

@@ -25,6 +25,9 @@ struct OpenFile {
 #[derive(Debug, Clone)]
 pub struct Kernel {
     table: Vec<Option<OpenFile>>,
+    /// Determinism: accessed by file-name key only (`entry`/`get`), never
+    /// iterated — snapshots clone the map whole and comparisons use
+    /// `HashMap`'s order-insensitive `PartialEq`.
     files: HashMap<String, Vec<u8>>,
     disk_free: u64,
     /// Propagation-fault state: from `start` onward, corrupt the next

@@ -514,7 +514,9 @@ impl Network {
     }
 
     /// Snapshot of `to`'s per-sender consumption counts (taken at commit
-    /// time by the recovery runtime).
+    /// time by the recovery runtime). Determinism: the returned map is
+    /// only ever read back by sender key in [`Net::rewind_receiver`],
+    /// which iterates the ordered channel map, not this snapshot.
     pub fn consumed_counts(&self, to: ProcessId) -> HashMap<u32, usize> {
         self.channels
             .iter()

@@ -26,6 +26,7 @@ use crate::net::{NetFaultPlan, NetStats, Network, SendOutcome, UNDELIVERED};
 use crate::rng::SplitMix64;
 use crate::script::{InputScript, SignalSchedule};
 use crate::syscalls::{AppStatus, Message, SysError, SysResult, Syscalls, WaitCond};
+use ft_core::access::{ShmLog, ShmOp, ShmRecord};
 use ft_core::event::{NdSource, ProcessId};
 use ft_core::trace::{Trace, TraceBuilder};
 use ft_mem::error::MemResult;
@@ -165,6 +166,11 @@ pub struct Simulator {
     signals: Vec<SignalSchedule>,
     tracer: TraceBuilder,
     visible_log: Vec<(SimTime, ProcessId, u64)>,
+    shm_log: ShmLog,
+    /// Per-process per-destination send counters. Determinism: accessed by
+    /// destination key only (`entry`/`get`); the snapshot/restore pair
+    /// clones the whole map and `withdraw_tainted` reads it keyed while
+    /// iterating the (ordered) channel map — hash order never escapes.
     send_seqs: Vec<HashMap<u32, u64>>,
     stats: Vec<ProcStats>,
     rng: SplitMix64,
@@ -206,6 +212,7 @@ impl Simulator {
             signals: vec![SignalSchedule::default(); n],
             tracer: TraceBuilder::new(n),
             visible_log: Vec::new(),
+            shm_log: ShmLog::default(),
             send_seqs: vec![HashMap::new(); n],
             stats: vec![ProcStats::default(); n],
             rng: SplitMix64::new(cfg.seed),
@@ -538,6 +545,21 @@ impl Simulator {
     /// Number of trace events recorded so far for `pid`.
     pub fn trace_position(&self, pid: ProcessId) -> u64 {
         self.tracer.position(pid)
+    }
+
+    /// Appends a DSM-layer operation to the shared-memory access stream,
+    /// stamping it with `pid`'s current trace position (see
+    /// [`ft_core::access`] for how the analyzer recovers happens-before
+    /// knowledge from that stamp).
+    pub fn record_shm(&mut self, pid: ProcessId, op: ShmOp) {
+        let pos = self.tracer.position(pid);
+        self.shm_log.records.push(ShmRecord { pid, pos, op });
+    }
+
+    /// Takes the recorded shared-memory access stream (leaving an empty
+    /// one). Harnesses call this right before [`Simulator::finish`].
+    pub fn take_shm_log(&mut self) -> ShmLog {
+        std::mem::take(&mut self.shm_log)
     }
 
     /// Notes a commit for stats purposes.
@@ -966,5 +988,12 @@ impl<'a> Syscalls for SysCtx<'a> {
             return;
         }
         self.sim.tracer.fault_activation(self.pid, fault);
+    }
+
+    fn shm_op(&mut self, op: ShmOp) {
+        if self.killed {
+            return;
+        }
+        self.sim.record_shm(self.pid, op);
     }
 }

@@ -197,6 +197,15 @@ pub trait Syscalls {
     /// instrumentation: "instrumenting Discount Checking to log each fault
     /// activation and commit event"). A no-op event for the protocols.
     fn note_fault_activation(&mut self, fault: u32);
+
+    /// Reports a DSM-layer shared-memory operation (page read/write, lock
+    /// acquire/release, barrier completion) to the access stream consumed
+    /// by `ft-analyze`. Pure instrumentation: records no event, charges no
+    /// time, and never perturbs the run. The default discards the record —
+    /// only the simulator-backed implementations persist it.
+    fn shm_op(&mut self, op: ft_core::access::ShmOp) {
+        let _ = op;
+    }
 }
 
 /// System interface plus access to the process's recoverable memory.

@@ -238,7 +238,7 @@ fn kernel_panic_kills_whole_node() {
     let mut mems = vec![Mem::new(a.layout()), Mem::new(b.layout())];
     let mut kills = 0;
     drive(&mut sim, &mut [&mut a, &mut b], &mut mems, |_, _| {
-        kills += 1
+        kills += 1;
     });
     assert_eq!(kills, 2, "both processes on the panicked node die");
 }

@@ -78,7 +78,7 @@ fn main() {
     let done = recv_g.add_state("done");
     recv_g.add_edge(b0, b1, EdgeKind::TransientNd, "recv");
     recv_g.add_edge(b1, done, EdgeKind::Det, "finish");
-    let mut recv_meta = std::collections::HashMap::new();
+    let mut recv_meta = std::collections::BTreeMap::new();
     recv_meta.insert(
         0usize,
         RecvMeta {
@@ -97,7 +97,7 @@ fn main() {
                 start: a0,
                 path: vec![EdgeId(0), EdgeId(1)],
                 commits_at,
-                recv_meta: std::collections::HashMap::new(),
+                recv_meta: std::collections::BTreeMap::new(),
             },
             ProcessRun {
                 graph: recv_g.clone(),

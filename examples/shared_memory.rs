@@ -78,12 +78,11 @@ impl App for Worker {
             },
             // Critical section: the deposit.
             1 => {
-                let m = sys.mem();
-                let total = dsm.read_pod::<u64>(m, R_TOTAL)?;
-                dsm.write_pod(m, R_TOTAL, total + self.my as u64 + 1)?;
+                let total = dsm.read_pod::<u64>(sys, R_TOTAL)?;
+                dsm.write_pod(sys, R_TOTAL, total + self.my as u64 + 1)?;
                 let mine = 8 + self.my as usize * 8;
-                let n = dsm.read_pod::<u64>(m, mine)?;
-                dsm.write_pod(m, mine, n + 1)?;
+                let n = dsm.read_pod::<u64>(sys, mine)?;
+                dsm.write_pod(sys, mine, n + 1)?;
                 sys.compute(100 * US);
                 phase.set(&mut sys.mem().arena, 2)?;
                 Ok(AppStatus::Running)
@@ -122,7 +121,7 @@ impl App for Worker {
                 LockStatus::Waiting => Ok(AppStatus::Blocked(WaitCond::message())),
             },
             5 => {
-                let total = dsm.read_pod::<u64>(sys.mem(), R_TOTAL)?;
+                let total = dsm.read_pod::<u64>(sys, R_TOTAL)?;
                 sys.visible(total);
                 phase.set(&mut sys.mem().arena, 6)?;
                 Ok(AppStatus::Running)

@@ -30,6 +30,19 @@ for f in BENCH_table1.json BENCH_table2.json BENCH_loss.json BENCH_fig8.json; do
   [[ -s "$f" ]] || { echo "ci: missing $f" >&2; exit 1; }
 done
 
+# Availability smoke: the continuous-fault stage (short horizons, 2
+# protocols × 2 strategies) with its seeded unsound-microreboot mutants,
+# which must be flagged by the oracle (the binary exits nonzero
+# otherwise, and on any serial/sharded mismatch). The report carries no
+# wall-clock, so two consecutive runs at different thread counts must be
+# byte-identical.
+cargo run --release -q -p ft-bench --bin campaign -- --quick --avail-only --threads 4 --out .
+cargo run --release -q -p ft-bench --bin campaign -- --quick --avail-only --threads 2 --out avail_rerun
+cmp BENCH_avail.json avail_rerun/BENCH_avail.json \
+  || { echo "ci: BENCH_avail.json not deterministic across runs" >&2; exit 1; }
+rm -rf avail_rerun
+[[ -s BENCH_avail.json ]] || { echo "ci: missing BENCH_avail.json" >&2; exit 1; }
+
 # Model-checker smoke: exhaust every crash point (including mid-commit
 # sub-steps) of small nvi and taskfarm workloads under all seven
 # protocols, asserting serial/sharded exploration equivalence. The binary

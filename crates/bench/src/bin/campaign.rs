@@ -1,10 +1,10 @@
 //! The campaign binary: runs the full fault-injection matrix — Table 1
-//! and Table 2 on both applications plus the loss-rate degradation sweep
-//! and the Figure 8 protocol-space grids — serially and then sharded
-//! across a worker pool, **asserts the two produced bitwise-identical
-//! rows**, prints the text tables, and writes the machine-readable
-//! `BENCH_table1.json` / `BENCH_table2.json` / `BENCH_loss.json` /
-//! `BENCH_fig8.json` reports with wall-clock and speedup-vs-serial.
+//! and Table 2 on both applications plus the loss-rate degradation sweep,
+//! the Figure 8 protocol-space grids, and the continuous-availability
+//! stage — serially and then sharded across a worker pool, **asserts the
+//! two produced bitwise-identical rows**, prints the text tables, and
+//! writes the machine-readable `BENCH_table1.json` / `BENCH_table2.json`
+//! / `BENCH_loss.json` / `BENCH_fig8.json` / `BENCH_avail.json` reports.
 //!
 //! ```text
 //! cargo run --release -p ft-bench --bin campaign -- --threads 4
@@ -15,23 +15,33 @@
 //! * `--threads N` — worker threads for the parallel run (default: the
 //!   machine's available parallelism);
 //! * `--quick` — small trial counts (the CI smoke configuration);
+//! * `--avail-only` — run only the availability stage (the CI smoke's
+//!   byte-identity double run uses this);
 //! * `--target-crashes C` / `--max-trials M` — Table 1 sizing;
 //! * `--table2-trials T` — Table 2 sizing;
 //! * `--out DIR` — where to write the `BENCH_*.json` files (default `.`).
+//!
+//! The availability stage additionally self-tests the recovery oracle: it
+//! carries seeded unsound-microreboot mutant cells, and the binary fails
+//! if any mutant row comes back unflagged.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use ft_bench::avail::{avail_json, render_avail, run_avail, AvailConfig};
 use ft_bench::campaign::{
     self, fig8_json, loss_json, run_campaign_par, run_campaign_serial, run_fig8_par,
     run_fig8_serial, table1_json, table2_json, CampaignConfig, WallClock,
 };
 use ft_bench::runner::default_threads;
+use ft_dc::MicrorebootMutation;
 
 struct Args {
     threads: usize,
     cfg: CampaignConfig,
+    avail: AvailConfig,
+    avail_only: bool,
     out: PathBuf,
 }
 
@@ -39,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         threads: default_threads(),
         cfg: CampaignConfig::default(),
+        avail: AvailConfig::default(),
+        avail_only: false,
         out: PathBuf::from("."),
     };
     let mut it = std::env::args().skip(1);
@@ -50,7 +62,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
-            "--quick" => args.cfg = CampaignConfig::quick(),
+            "--quick" => {
+                args.cfg = CampaignConfig::quick();
+                args.avail = AvailConfig::quick();
+            }
+            "--avail-only" => args.avail_only = true,
             "--target-crashes" => {
                 args.cfg.target_crashes = value("--target-crashes")?
                     .parse()
@@ -85,111 +101,174 @@ fn main() -> ExitCode {
         }
     };
 
-    println!(
-        "campaign: Table 1 (target {} crashes, max {} trials), Table 2 ({} trials/type), \
-         loss sweep ({} rates) on nvi + postgres",
-        args.cfg.target_crashes,
-        args.cfg.max_trials,
-        args.cfg.table2_trials,
-        args.cfg.loss_rates.len()
-    );
-
-    // Serial reference run (also the speedup baseline).
-    let t0 = Instant::now();
-    let serial = run_campaign_serial(&args.cfg);
-    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
-    println!("serial reference: {serial_ms:.0} ms");
-
-    // Parallel run.
-    let t1 = Instant::now();
-    let parallel = run_campaign_par(&args.cfg, args.threads);
-    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
-    println!("parallel ({} threads): {parallel_ms:.0} ms", args.threads);
-
-    // The determinism contract, checked on every invocation: the sharded
-    // run must reproduce the serial rows bit for bit.
-    if serial != parallel {
-        eprintln!(
-            "campaign: serial/parallel MISMATCH — the parallel runner diverged \
-             from the serial reference.\nserial:   {serial:?}\nparallel: {parallel:?}"
-        );
-        return ExitCode::FAILURE;
-    }
-    println!("serial/parallel equivalence: OK (rows bitwise identical)\n");
-
-    // The Figure 8 stage, under the same contract: serial reference, then
-    // the sharded grids, which must match bit for bit.
-    let t2 = Instant::now();
-    let fig8_serial = run_fig8_serial(&args.cfg);
-    let fig8_serial_ms = t2.elapsed().as_secs_f64() * 1e3;
-    let t3 = Instant::now();
-    let fig8_parallel = run_fig8_par(&args.cfg, args.threads);
-    let fig8_parallel_ms = t3.elapsed().as_secs_f64() * 1e3;
-    if fig8_serial != fig8_parallel {
-        eprintln!(
-            "campaign: Figure 8 serial/parallel MISMATCH — the sharded grids \
-             diverged from the serial reference.\nserial:   {fig8_serial:?}\n\
-             parallel: {fig8_parallel:?}"
-        );
-        return ExitCode::FAILURE;
-    }
-    println!(
-        "figure 8: serial {fig8_serial_ms:.0} ms, parallel {fig8_parallel_ms:.0} ms — \
-         equivalence OK\n"
-    );
-
-    for (app, rows) in &parallel.table1 {
-        println!("{}", campaign::render_table1(*app, rows));
-    }
-    for (app, rows) in &parallel.table2 {
-        println!("{}", campaign::render_table2(*app, rows));
-    }
-    println!("{}", campaign::render_loss(&parallel.loss));
-    println!("{}", campaign::render_fig8(&fig8_parallel));
-
-    let wall = WallClock {
-        serial_ms,
-        parallel_ms,
-        threads: args.threads,
-        hardware_threads: default_threads(),
-    };
-    println!(
-        "wall-clock: serial {serial_ms:.0} ms, parallel {parallel_ms:.0} ms on {} threads \
-         ({} hardware) — speedup {:.2}x",
-        wall.threads,
-        wall.hardware_threads,
-        wall.speedup()
-    );
-
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("campaign: creating {}: {e}", args.out.display());
         return ExitCode::FAILURE;
     }
-    for (name, doc) in [
-        (
-            "BENCH_table1.json",
-            table1_json(&parallel, &args.cfg, &wall),
-        ),
-        (
-            "BENCH_table2.json",
-            table2_json(&parallel, &args.cfg, &wall),
-        ),
-        ("BENCH_loss.json", loss_json(&parallel, &args.cfg, &wall)),
-        ("BENCH_fig8.json", {
-            let fig8_wall = WallClock {
-                serial_ms: fig8_serial_ms,
-                parallel_ms: fig8_parallel_ms,
-                ..wall
-            };
-            fig8_json(&fig8_parallel, &args.cfg, &fig8_wall)
-        }),
-    ] {
-        let path = args.out.join(name);
-        if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
-            eprintln!("campaign: writing {}: {e}", path.display());
+
+    if !args.avail_only {
+        println!(
+            "campaign: Table 1 (target {} crashes, max {} trials), Table 2 ({} trials/type), \
+             loss sweep ({} rates) on nvi + postgres",
+            args.cfg.target_crashes,
+            args.cfg.max_trials,
+            args.cfg.table2_trials,
+            args.cfg.loss_rates.len()
+        );
+
+        // Serial reference run (also the speedup baseline).
+        let t0 = Instant::now();
+        let serial = run_campaign_serial(&args.cfg);
+        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!("serial reference: {serial_ms:.0} ms");
+
+        // Parallel run.
+        let t1 = Instant::now();
+        let parallel = run_campaign_par(&args.cfg, args.threads);
+        let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+        println!("parallel ({} threads): {parallel_ms:.0} ms", args.threads);
+
+        // The determinism contract, checked on every invocation: the sharded
+        // run must reproduce the serial rows bit for bit.
+        if serial != parallel {
+            eprintln!(
+                "campaign: serial/parallel MISMATCH — the parallel runner diverged \
+                 from the serial reference.\nserial:   {serial:?}\nparallel: {parallel:?}"
+            );
             return ExitCode::FAILURE;
         }
-        println!("wrote {}", path.display());
+        println!("serial/parallel equivalence: OK (rows bitwise identical)\n");
+
+        // The Figure 8 stage, under the same contract: serial reference, then
+        // the sharded grids, which must match bit for bit.
+        let t2 = Instant::now();
+        let fig8_serial = run_fig8_serial(&args.cfg);
+        let fig8_serial_ms = t2.elapsed().as_secs_f64() * 1e3;
+        let t3 = Instant::now();
+        let fig8_parallel = run_fig8_par(&args.cfg, args.threads);
+        let fig8_parallel_ms = t3.elapsed().as_secs_f64() * 1e3;
+        if fig8_serial != fig8_parallel {
+            eprintln!(
+                "campaign: Figure 8 serial/parallel MISMATCH — the sharded grids \
+                 diverged from the serial reference.\nserial:   {fig8_serial:?}\n\
+                 parallel: {fig8_parallel:?}"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "figure 8: serial {fig8_serial_ms:.0} ms, parallel {fig8_parallel_ms:.0} ms — \
+             equivalence OK\n"
+        );
+
+        for (app, rows) in &parallel.table1 {
+            println!("{}", campaign::render_table1(*app, rows));
+        }
+        for (app, rows) in &parallel.table2 {
+            println!("{}", campaign::render_table2(*app, rows));
+        }
+        println!("{}", campaign::render_loss(&parallel.loss));
+        println!("{}", campaign::render_fig8(&fig8_parallel));
+
+        let wall = WallClock {
+            serial_ms,
+            parallel_ms,
+            threads: args.threads,
+            hardware_threads: default_threads(),
+        };
+        println!(
+            "wall-clock: serial {serial_ms:.0} ms, parallel {parallel_ms:.0} ms on {} threads \
+             ({} hardware) — speedup {:.2}x",
+            wall.threads,
+            wall.hardware_threads,
+            wall.speedup()
+        );
+
+        for (name, doc) in [
+            (
+                "BENCH_table1.json",
+                table1_json(&parallel, &args.cfg, &wall),
+            ),
+            (
+                "BENCH_table2.json",
+                table2_json(&parallel, &args.cfg, &wall),
+            ),
+            ("BENCH_loss.json", loss_json(&parallel, &args.cfg, &wall)),
+            ("BENCH_fig8.json", {
+                let fig8_wall = WallClock {
+                    serial_ms: fig8_serial_ms,
+                    parallel_ms: fig8_parallel_ms,
+                    ..wall
+                };
+                fig8_json(&fig8_parallel, &args.cfg, &fig8_wall)
+            }),
+        ] {
+            let path = args.out.join(name);
+            if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
+                eprintln!("campaign: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        }
+    }
+
+    // The availability stage, under the same contract: serial reference,
+    // then the sharded matrix, which must match bit for bit.
+    println!(
+        "availability: {} workloads × {} protocols × 2 strategies, ~{:.0} Poisson crashes per \
+         trial, {} trial(s)/cell",
+        ft_bench::avail::WORKLOADS.len(),
+        args.avail.protocols.len(),
+        args.avail.crashes_per_trial,
+        args.avail.trials
+    );
+    let t4 = Instant::now();
+    let avail_serial = run_avail(&args.avail, 1);
+    let avail_serial_ms = t4.elapsed().as_secs_f64() * 1e3;
+    let t5 = Instant::now();
+    let avail_sharded = run_avail(&args.avail, args.threads);
+    let avail_sharded_ms = t5.elapsed().as_secs_f64() * 1e3;
+    if avail_serial != avail_sharded {
+        eprintln!(
+            "campaign: availability serial/sharded MISMATCH — the sharded matrix \
+             diverged from the serial reference.\nserial:  {avail_serial:?}\n\
+             sharded: {avail_sharded:?}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "availability: serial {avail_serial_ms:.0} ms, sharded {avail_sharded_ms:.0} ms — \
+         equivalence OK\n"
+    );
+    println!("{}", render_avail(&avail_sharded, &args.avail));
+
+    let path = args.out.join("BENCH_avail.json");
+    if let Err(e) = std::fs::write(
+        &path,
+        avail_json(&avail_sharded, &args.avail).render_pretty(),
+    ) {
+        eprintln!("campaign: writing {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+
+    // Oracle self-test (after the report is on disk, so a failure is
+    // inspectable): every seeded unsound-microreboot mutant cell must be
+    // flagged, or the consistency columns of the real cells mean nothing.
+    let unflagged: Vec<&str> = avail_sharded
+        .rows
+        .iter()
+        .filter(|r| r.mutation != MicrorebootMutation::None && r.violations.total == 0)
+        .map(|r| r.workload)
+        .collect();
+    if !unflagged.is_empty() {
+        eprintln!(
+            "campaign: availability oracle self-test FAILED — seeded unsound \
+             microreboot went unflagged on: {unflagged:?}"
+        );
+        return ExitCode::FAILURE;
+    }
+    if args.avail.mutants {
+        println!("availability oracle self-test: OK (every seeded mutant cell flagged)");
     }
     ExitCode::SUCCESS
 }

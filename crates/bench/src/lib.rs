@@ -10,6 +10,11 @@
 //!   criterion (§4.1);
 //! * [`table2`] — operating-system fault injection (§4.2);
 //! * [`loss`] — loss-rate degradation sweeps over the unreliable fabric;
+//! * [`avail`] — the continuous-availability stage: Poisson crash
+//!   arrivals, MTTR/nines/goodput per protocol × recovery strategy, with
+//!   every incident's recovery judged by the `ft_core` oracle;
+//! * [`stats`] — deterministic (integer nearest-rank) order statistics
+//!   for the report percentiles;
 //! * [`runner`] — the parallel deterministic campaign runner (scoped
 //!   worker pool, split seed streams, index-ordered merge);
 //! * [`campaign`] — the full campaign matrix behind one serial and one
@@ -27,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod avail;
 pub mod campaign;
 pub mod fig8;
 pub mod fingerprint;
@@ -35,5 +41,6 @@ pub mod loss;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub mod stats;
 pub mod table1;
 pub mod table2;

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod avail;
 pub mod clock;
 pub mod consistency;
 pub mod event;
@@ -64,6 +65,7 @@ pub mod savework;
 pub mod space;
 pub mod trace;
 
+pub use avail::{availability, nines, total_downtime_ns, Incident};
 pub use clock::{happens_before, VectorClock};
 pub use consistency::{
     check_consistent_recovery, check_consistent_recovery_multi, check_equivalence, ConsistencyError,

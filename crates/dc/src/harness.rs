@@ -2,6 +2,7 @@
 //! protocol, handles stop failures and crashes with rollback + constrained
 //! re-execution, and reports the metrics Figure 8 and Tables 1–2 need.
 
+use ft_core::avail::Incident;
 use ft_core::event::ProcessId;
 use ft_core::trace::Trace;
 use ft_mem::arena::ArenaStats;
@@ -13,6 +14,7 @@ use ft_sim::sim::{Simulator, StepOutcome, Wake};
 use ft_sim::syscalls::App;
 
 use crate::dcsys::DcSys;
+use crate::recovery::{plan_recovery, MicrorebootMutation, RecoveryAction, Strategy};
 use crate::runtime::DcRuntime;
 use crate::state::{DcConfig, DcStats};
 
@@ -53,6 +55,12 @@ pub struct DcReport {
     /// Failure-free runs yield a replay-free stream suitable for the
     /// `ft-analyze` race passes.
     pub shm: ft_core::access::ShmLog,
+    /// Crash-to-recovery incidents, in close order: one per crash that
+    /// landed on a process, folding repeated failures before catch-up
+    /// (e.g. a microreboot that does not stick) into the same incident.
+    /// The availability campaign's MTTR/availability/goodput columns are
+    /// derived from these.
+    pub incidents: Vec<Incident>,
 }
 
 impl DcReport {
@@ -84,6 +92,19 @@ impl DcReport {
     }
 }
 
+/// A crash-to-recovery episode still in progress: opened when a crash
+/// lands, extended by repeated failures before catch-up, closed (into a
+/// [`Incident`]) when the process re-executes past where it was.
+struct OpenIncident {
+    crash_at: SimTime,
+    /// The trace position at which the process counts as caught up.
+    target_pos: u64,
+    lost_events: u64,
+    attempts: u32,
+    attempt_delays: Vec<u64>,
+    escalated: bool,
+}
+
 /// The harness: simulator + runtime + applications.
 pub struct DcHarness {
     /// The simulated testbed (configure scripts/signals/kills before
@@ -95,6 +116,8 @@ pub struct DcHarness {
     recovery_attempts: Vec<u32>,
     last_traps: Vec<u64>,
     abandoned: u32,
+    open_incidents: Vec<Option<OpenIncident>>,
+    incidents: Vec<Incident>,
 }
 
 impl DcHarness {
@@ -110,6 +133,8 @@ impl DcHarness {
             recovery_attempts: vec![0; n],
             last_traps: vec![0; n],
             abandoned: 0,
+            open_incidents: (0..n).map(|_| None).collect(),
+            incidents: Vec::new(),
         }
     }
 
@@ -141,25 +166,136 @@ impl DcHarness {
         self.sim.finish_step(pid, st, el)
     }
 
+    /// Opens (or extends) `pid`'s incident at the instant a crash lands.
+    ///
+    /// The catch-up target is the trace position at which the process has
+    /// re-executed everything the crash cost it: its position at the
+    /// crash (which includes the crash marker), plus the rollback marker
+    /// recovery is about to journal, plus the events after its last
+    /// commit that re-execution owes.
+    fn note_crash(&mut self, pid: ProcessId) {
+        let p = pid.index();
+        let pos = self.sim.trace_position(pid);
+        let committed = self.rt.state(pid).committed.trace_pos;
+        // Events after the last commit, excluding the crash marker itself.
+        let lost = pos.saturating_sub(committed).saturating_sub(1);
+        let target_pos = pos + 1 + lost;
+        match self.open_incidents[p].as_mut() {
+            Some(inc) => {
+                // A repeat failure before catch-up: same incident, fresh
+                // (and further) catch-up target.
+                inc.target_pos = target_pos;
+                inc.lost_events += lost;
+            }
+            None => {
+                self.open_incidents[p] = Some(OpenIncident {
+                    crash_at: self.sim.now(),
+                    target_pos,
+                    lost_events: lost,
+                    attempts: 0,
+                    attempt_delays: Vec::new(),
+                    escalated: false,
+                });
+            }
+        }
+    }
+
+    /// Closes `pid`'s open incident (if any) into the report's list.
+    fn close_incident(&mut self, pid: ProcessId, recovered_at: Option<SimTime>) {
+        if let Some(inc) = self.open_incidents[pid.index()].take() {
+            self.incidents.push(Incident {
+                pid: pid.0,
+                crash_at: inc.crash_at,
+                recovered_at,
+                lost_events: inc.lost_events,
+                microreboot_attempts: inc.attempts,
+                attempt_delays: inc.attempt_delays,
+                escalated: inc.escalated,
+            });
+        }
+    }
+
+    /// Closes `pid`'s incident once it has caught back up (or finished).
+    fn check_recovered(&mut self, pid: ProcessId) {
+        let p = pid.index();
+        let Some(inc) = &self.open_incidents[p] else {
+            return;
+        };
+        if self.sim.is_crashed(pid) {
+            return;
+        }
+        if self.sim.is_done(pid) || self.sim.trace_position(pid) >= inc.target_pos {
+            let now = self.sim.now();
+            self.close_incident(pid, Some(now));
+        }
+    }
+
     fn handle_failure(&mut self, pid: ProcessId) {
         let p = pid.index();
+        self.note_crash(pid);
         self.recovery_attempts[p] += 1;
         if self.recovery_attempts[p] > self.rt.cfg().max_recoveries {
             // Give up: the process stays dead (e.g. a Lose-work violation
             // re-crashing on every recovery).
             self.abandoned += 1;
+            self.close_incident(pid, None);
             return;
         }
-        let delay = self.rt.cfg().reboot_delay_ns;
-        let rolled = self.rt.recover(pid, &mut self.sim);
-        for q in rolled {
-            self.apps[q.index()].on_recovered();
-            if q == pid {
-                self.sim.respawn(pid, delay);
-            } else {
-                // Cascade victims were not killed; wake them so they
-                // re-evaluate from their rolled-back state.
-                self.sim.reactivate(q);
+        let mut attempts = self.open_incidents[p].as_ref().map_or(0, |i| i.attempts);
+        let cfg = self.rt.cfg();
+        let strategy = cfg.strategy;
+        let escalation = cfg.escalation;
+        let mut action = plan_recovery(strategy, attempts, &escalation);
+        // Delay the escalated rollback inherits from failed partial
+        // restarts (zero outside the NeverSticks mutation).
+        let mut wasted_ns = 0u64;
+        if cfg.microreboot_mutation == MicrorebootMutation::NeverSticks {
+            // The seeded always-failing component: every partial restart
+            // dies the instant it resumes, before re-executing anything.
+            // Walk the whole remaining ladder here — each attempt burns
+            // its backoff delay — then fall through to the escalation.
+            while let RecoveryAction::PartialRestart { delay_ns } = action {
+                self.rt.microreboot(pid, &mut self.sim);
+                self.apps[p].on_recovered();
+                if let Some(inc) = self.open_incidents[p].as_mut() {
+                    inc.attempts += 1;
+                    inc.attempt_delays.push(delay_ns);
+                }
+                wasted_ns += delay_ns;
+                attempts += 1;
+                action = plan_recovery(strategy, attempts, &escalation);
+            }
+        }
+        match action {
+            RecoveryAction::PartialRestart { delay_ns } => {
+                self.rt.microreboot(pid, &mut self.sim);
+                self.apps[p].on_recovered();
+                self.sim.respawn(pid, delay_ns);
+                if let Some(inc) = self.open_incidents[p].as_mut() {
+                    inc.attempts += 1;
+                    inc.attempt_delays.push(delay_ns);
+                }
+            }
+            RecoveryAction::FullRollback => {
+                if self.rt.cfg().strategy == Strategy::Microreboot {
+                    // The ladder is exhausted: escalate.
+                    if let Some(inc) = self.open_incidents[p].as_mut() {
+                        inc.escalated = true;
+                    }
+                    self.rt.state_mut(pid).stats.escalations += 1;
+                }
+                let delay = wasted_ns + self.rt.cfg().reboot_delay_ns;
+                let rolled = self.rt.recover(pid, &mut self.sim);
+                for q in rolled {
+                    self.apps[q.index()].on_recovered();
+                    if q == pid {
+                        self.sim.respawn(pid, delay);
+                    } else {
+                        // Cascade victims were not killed; wake them so they
+                        // re-evaluate from their rolled-back state.
+                        self.sim.reactivate(q);
+                    }
+                }
             }
         }
     }
@@ -196,12 +332,18 @@ impl DcHarness {
                     if let StepOutcome::Crashed(_) = self.step_process(pid) {
                         self.handle_failure(pid);
                     }
+                    self.check_recovered(pid);
                 }
                 Wake::Killed(pid) => self.handle_failure(pid),
             }
             on_step(&mut self.sim);
         }
         let n = self.apps.len();
+        // Incidents still open at the end of the run (abandoned processes,
+        // deadlocks, horizon truncation) never recovered.
+        for p in 0..n {
+            self.close_incident(ProcessId(p as u32), None);
+        }
         let all_done = (0..n).all(|p| self.sim.is_done(ProcessId(p as u32)));
         let commits_per_proc = (0..n)
             .map(|p| self.rt.state(ProcessId(p as u32)).stats.commits)
@@ -230,6 +372,7 @@ impl DcHarness {
             arena,
             abandoned: self.abandoned,
             shm,
+            incidents: self.incidents,
         }
     }
 }

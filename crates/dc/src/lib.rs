@@ -13,9 +13,14 @@
 //!   dependency-closure participant selection), rollback, kernel-state
 //!   reconstruction, message-replay cursors, and cascading rollback of
 //!   processes that consumed withdrawn tainted messages;
+//! * [`recovery`] — recovery strategy selection: the paper's full
+//!   rollback vs component-level microreboot, with the bounded
+//!   retry/backoff ladder that escalates partial recovery when it keeps
+//!   failing;
 //! * [`dcsys`] — the interposition layer ([`DcSys`]) wrapping the raw
 //!   simulator syscalls;
-//! * [`harness`] — the run loop with automatic recovery and reporting.
+//! * [`harness`] — the run loop with automatic recovery, per-incident
+//!   crash-to-recovery accounting, and reporting.
 //!
 //! ## Example: failure transparency for a stop failure
 //!
@@ -28,10 +33,12 @@
 
 pub mod dcsys;
 pub mod harness;
+pub mod recovery;
 pub mod runtime;
 pub mod state;
 
 pub use dcsys::DcSys;
 pub use harness::{DcHarness, DcReport};
+pub use recovery::{plan_recovery, MicrorebootMutation, RecoveryAction, Strategy};
 pub use runtime::DcRuntime;
 pub use state::{CommitKill, DcConfig, DcStats, PendingNd};

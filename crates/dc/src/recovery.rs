@@ -1,0 +1,158 @@
+//! Recovery strategy selection: full rollback vs component-level
+//! microreboot, and the bounded retry ladder between them.
+//!
+//! The paper's recovery protocol is *full rollback*: the failed process is
+//! restored to its last commit and every peer that consumed one of its
+//! now-withdrawn uncommitted messages is rolled back too (the cascade of
+//! §2.3). Candea et al.'s microreboot argument is that when faults are
+//! frequent, restarting just the failed component — no message
+//! withdrawal, no cascade, a much smaller reboot cost — wins on MTTR and
+//! availability. The catch the Save-work theory makes precise: a partial
+//! restart is consistent only when every event the component lost is
+//! deterministically regenerable from its last commit; otherwise peers
+//! keep state derived from events the component no longer remembers
+//! producing, and recovery silently diverges.
+//!
+//! [`plan_recovery`] is the pure ladder decision: under
+//! [`Strategy::Microreboot`], an incident gets up to
+//! `EscalationPolicy::max_attempts` partial restarts with exponential
+//! backoff, then escalates to the always-sound full rollback.
+
+use ft_faults::arrivals::EscalationPolicy;
+
+/// Which recovery path the runtime takes when a process fails.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Roll the failed process back to its last commit, withdraw its
+    /// uncommitted sends, and cascade rollback to tainted receivers — the
+    /// paper's protocol, always sound.
+    #[default]
+    FullRollback,
+    /// Restart only the failed process from its last commit, leaving
+    /// peers (and in-flight messages) untouched, with the
+    /// [`EscalationPolicy`] ladder escalating to full rollback after
+    /// repeated failures.
+    Microreboot,
+}
+
+impl Strategy {
+    /// Display/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::FullRollback => "full-rollback",
+            Strategy::Microreboot => "microreboot",
+        }
+    }
+}
+
+/// Seeded microreboot defects for the campaign's oracle self-test.
+///
+/// Like `DcConfig::skip_presend_commit`, these are test-only mutation
+/// switches: they exist so the availability campaign can *prove* that
+/// `ft_core::oracle::check_recovery` flags an unsound partial restart,
+/// rather than asserting soundness it never exercises.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MicrorebootMutation {
+    /// No mutation (production behavior).
+    #[default]
+    None,
+    /// Every microreboot fails immediately: the component is re-killed
+    /// the instant it resumes. Drives the ladder to exhaustion — the
+    /// directed escalation tests use this to observe the exact backoff
+    /// schedule and the final full-rollback escalation.
+    NeverSticks,
+    /// The partial restore "forgets" the committed-page re-install pass
+    /// (`Arena::rollback_skipping` skipping every image), so the
+    /// component resumes with its crashed memory contents under rewound
+    /// cursors — the unsound restart the oracle must flag.
+    SkipPageReinstall,
+}
+
+/// The ladder's decision for the next recovery attempt of an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Microreboot the component, resuming it after `delay_ns`.
+    PartialRestart {
+        /// Restart delay drawn from the policy's backoff schedule.
+        delay_ns: u64,
+    },
+    /// Perform (or escalate to) a full rollback with cascades.
+    FullRollback,
+}
+
+/// Decides the next recovery action for an incident that has already
+/// consumed `attempts_so_far` partial restarts.
+///
+/// Under [`Strategy::FullRollback`] the answer is always a full rollback.
+/// Under [`Strategy::Microreboot`], attempts `1..=max_attempts` are
+/// partial restarts delayed by the policy's backoff schedule; once the
+/// ladder is exhausted the incident escalates.
+pub fn plan_recovery(
+    strategy: Strategy,
+    attempts_so_far: u32,
+    policy: &EscalationPolicy,
+) -> RecoveryAction {
+    match strategy {
+        Strategy::FullRollback => RecoveryAction::FullRollback,
+        Strategy::Microreboot if attempts_so_far < policy.max_attempts => {
+            RecoveryAction::PartialRestart {
+                delay_ns: policy.attempt_delay_ns(attempts_so_far + 1),
+            }
+        }
+        Strategy::Microreboot => RecoveryAction::FullRollback,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_sim::cost::MS;
+
+    #[test]
+    fn full_rollback_never_retries_partially() {
+        let p = EscalationPolicy::default();
+        for attempts in 0..5 {
+            assert_eq!(
+                plan_recovery(Strategy::FullRollback, attempts, &p),
+                RecoveryAction::FullRollback
+            );
+        }
+    }
+
+    #[test]
+    fn microreboot_ladder_backs_off_then_escalates() {
+        let p = EscalationPolicy {
+            max_attempts: 3,
+            base_delay_ns: 5 * MS,
+            backoff_factor: 2,
+        };
+        assert_eq!(
+            plan_recovery(Strategy::Microreboot, 0, &p),
+            RecoveryAction::PartialRestart { delay_ns: 5 * MS }
+        );
+        assert_eq!(
+            plan_recovery(Strategy::Microreboot, 1, &p),
+            RecoveryAction::PartialRestart { delay_ns: 10 * MS }
+        );
+        assert_eq!(
+            plan_recovery(Strategy::Microreboot, 2, &p),
+            RecoveryAction::PartialRestart { delay_ns: 20 * MS }
+        );
+        assert_eq!(
+            plan_recovery(Strategy::Microreboot, 3, &p),
+            RecoveryAction::FullRollback
+        );
+        assert_eq!(
+            plan_recovery(Strategy::Microreboot, 4, &p),
+            RecoveryAction::FullRollback
+        );
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::FullRollback.name(), "full-rollback");
+        assert_eq!(Strategy::Microreboot.name(), "microreboot");
+        assert_eq!(Strategy::default(), Strategy::FullRollback);
+        assert_eq!(MicrorebootMutation::default(), MicrorebootMutation::None);
+    }
+}

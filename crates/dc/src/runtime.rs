@@ -7,6 +7,7 @@ use ft_sim::cost::SimTime;
 use ft_sim::sim::{Simulator, SysCtx};
 use ft_sim::syscalls::Syscalls;
 
+use crate::recovery::MicrorebootMutation;
 use crate::state::{
     decode_alloc, encode_alloc_into, CommittedState, DcConfig, DcStats, PendingNd, ProcState,
 };
@@ -103,6 +104,8 @@ impl DcRuntime {
             t.commit_time_ns += s.stats.commit_time_ns;
             t.twopc_timeouts += s.stats.twopc_timeouts;
             t.twopc_aborts += s.stats.twopc_aborts;
+            t.microreboots += s.stats.microreboots;
+            t.escalations += s.stats.escalations;
         }
         t
     }
@@ -360,6 +363,43 @@ impl DcRuntime {
             work.extend(cascade);
         }
         rolled
+    }
+
+    /// Partially recovers `pid` in place — the microreboot path.
+    ///
+    /// Identical to the `pid` leg of [`DcRuntime::recover`] — journal the
+    /// rollback, restore memory/allocator/cursors/send counters/
+    /// consumption pointers/kernel, arm constrained re-execution — except
+    /// that the failure is treated as confined to the restarted
+    /// component: its uncommitted sends are *not* withdrawn and no peer
+    /// is cascaded. Sound exactly when every event the component lost is
+    /// deterministically regenerable from its last commit (which the
+    /// Save-work protocols arrange for the events peers could have seen);
+    /// the campaign's oracle adjudicates every incident either way. The
+    /// [`MicrorebootMutation::SkipPageReinstall`] switch makes the
+    /// restore itself unsound by leaving every page at its crashed
+    /// contents while the cursors rewind.
+    pub fn microreboot(&mut self, pid: ProcessId, sim: &mut Simulator) {
+        let protocol = self.cfg.protocol;
+        let skip = match self.cfg.microreboot_mutation {
+            MicrorebootMutation::SkipPageReinstall => usize::MAX,
+            _ => 0,
+        };
+        let st = &mut self.states[pid.index()];
+        sim.tracer_mut().rollback(pid, st.committed.trace_pos);
+        st.mem.arena.rollback_skipping(skip);
+        st.mem.alloc = decode_alloc(&st.committed.alloc_blob);
+        sim.set_input_cursor(pid, st.committed.input_cursor);
+        sim.set_signal_cursor(pid, st.committed.signal_cursor);
+        sim.set_send_seqs(pid, st.committed.send_seqs.clone());
+        sim.restore_kernel(pid, st.committed.kernel.clone());
+        sim.network_mut()
+            .rewind_receiver(pid, &st.committed.consumed);
+        st.planner = CommitPlanner::new(protocol);
+        st.tracker = DepTracker::new(pid.0);
+        st.replay = st.committed.pending_nd.clone();
+        st.stats.recoveries += 1;
+        st.stats.microreboots += 1;
     }
 
     /// Takes the armed replay value for `pid` if `matches` accepts it.

@@ -4,7 +4,10 @@
 use std::collections::HashMap;
 
 use ft_core::protocol::{CommitPlanner, DepTracker, Protocol};
+use ft_faults::arrivals::EscalationPolicy;
 use ft_mem::arena::CommitCrashPoint;
+
+use crate::recovery::{MicrorebootMutation, Strategy};
 use ft_mem::cost::Medium;
 use ft_mem::mem::Mem;
 use ft_sim::cost::SimTime;
@@ -59,6 +62,16 @@ pub struct DcConfig {
     /// mutation self-test can prove `ft-check` detects and shrinks a real
     /// violation.
     pub skip_presend_commit: bool,
+    /// How failures are recovered: the paper's full rollback (default) or
+    /// component-level microreboot with the escalation ladder.
+    pub strategy: Strategy,
+    /// The microreboot retry/backoff ladder (ignored under
+    /// [`Strategy::FullRollback`]).
+    pub escalation: EscalationPolicy,
+    /// **Test-only mutation switch** seeding a microreboot defect for the
+    /// availability campaign's oracle self-test (see
+    /// [`MicrorebootMutation`]). Never set outside tests and campaigns.
+    pub microreboot_mutation: MicrorebootMutation,
 }
 
 impl DcConfig {
@@ -72,6 +85,9 @@ impl DcConfig {
             periodic_checkpoint_ns: None,
             commit_kill: None,
             skip_presend_commit: false,
+            strategy: Strategy::FullRollback,
+            escalation: EscalationPolicy::default(),
+            microreboot_mutation: MicrorebootMutation::None,
         }
     }
 
@@ -149,6 +165,12 @@ pub struct DcStats {
     /// Coordinated rounds aborted after exhausting the retry cap; the
     /// coordinator waits out the partition and re-runs the round.
     pub twopc_aborts: u64,
+    /// Partial restarts performed under [`Strategy::Microreboot`] (each is
+    /// also counted in `recoveries`).
+    pub microreboots: u64,
+    /// Incidents whose microreboot ladder was exhausted and escalated to a
+    /// full rollback.
+    pub escalations: u64,
 }
 
 /// One process's recovery-runtime state.

@@ -28,12 +28,19 @@
 //! unreliable fabric (loss, duplication, reordering, partitions) and
 //! builds the `ft-sim` transport's [`NetFaultPlan`], so a campaign can
 //! combine environment failures with code and kernel bugs.
+//!
+//! Finally, [`arrivals`] generates *sustained* fault processes for the
+//! availability campaign: seeded Poisson crash arrivals (deterministic,
+//! O(1)-splittable per trial) and the bounded retry/backoff
+//! [`EscalationPolicy`] for microreboot recovery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod crash;
 
+pub use arrivals::{EscalationPolicy, ExpSampler, PoissonArrivals};
 pub use crash::CrashPoint;
 
 use ft_core::event::ProcessId;

@@ -466,15 +466,33 @@ impl Arena {
     /// before-images (most recent first). Returns the number of pages
     /// restored.
     pub fn rollback(&mut self) -> usize {
-        let n = self.undo.len();
-        for (page, image) in self.undo.drain(..).rev() {
-            let start = page * PAGE_SIZE;
-            self.data[start..start + PAGE_SIZE].copy_from_slice(&image);
+        self.rollback_skipping(0)
+    }
+
+    /// As [`Arena::rollback`], but *skips re-installing* the `skip` most
+    /// recently captured before-images, leaving those pages at their
+    /// crashed contents. This models an unsound partial restore — a
+    /// component restart that neglects to re-install part of the
+    /// committed state — and exists solely as the seeded mutation behind
+    /// the availability campaign's oracle self-test: recovery proceeds
+    /// with memory ahead of (or inconsistent with) the rewound cursors,
+    /// which `ft_core::oracle::check_recovery` must flag. The skipped
+    /// buffers are still returned to the pool and the epoch still bumps,
+    /// so only the page *contents* are wrong. `rollback()` is
+    /// `rollback_skipping(0)`. Returns the number of pages restored.
+    pub fn rollback_skipping(&mut self, skip: usize) -> usize {
+        let mut restored = 0;
+        for (i, (page, image)) in self.undo.drain(..).rev().enumerate() {
+            if i >= skip {
+                let start = page * PAGE_SIZE;
+                self.data[start..start + PAGE_SIZE].copy_from_slice(&image);
+                restored += 1;
+            }
             self.pool.push(image);
         }
         self.bump_epoch();
         self.stats.rollbacks += 1;
-        n
+        restored
     }
 
     /// Running statistics.
@@ -531,6 +549,24 @@ mod tests {
         assert_eq!(restored, 2);
         assert_eq!(a.read(0, 9).unwrap(), b"committed");
         assert_eq!(a.read(5000, 4).unwrap(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn rollback_skipping_leaves_crashed_pages() {
+        let mut a = Arena::new(Layout::small());
+        a.write(0, b"committed").unwrap();
+        a.commit();
+        a.write(0, b"scratched").unwrap(); // Page 0 dirtied first.
+        a.write(5000, b"more").unwrap(); // Page 1 dirtied second.
+                                         // Skip the most recent before-image (page 1): it keeps its
+                                         // crashed contents while page 0 is restored.
+        let restored = a.rollback_skipping(1);
+        assert_eq!(restored, 1);
+        assert_eq!(a.read(0, 9).unwrap(), b"committed");
+        assert_eq!(a.read(5000, 4).unwrap(), b"more");
+        // The undo log is fully drained either way: a subsequent write
+        // starts a fresh interval with a fresh before-image.
+        assert_eq!(a.dirty_page_count(), 0);
     }
 
     #[test]

@@ -43,6 +43,27 @@ cmp BENCH_avail.json avail_rerun/BENCH_avail.json \
 rm -rf avail_rerun
 [[ -s BENCH_avail.json ]] || { echo "ci: missing BENCH_avail.json" >&2; exit 1; }
 
+# Durable-medium smoke: the three-media overhead grid (Rio / DC-disk /
+# DC-durable) plus the real on-disk engine probe (commit, compact,
+# reopen, digest check). The report carries no wall-clock numbers, so
+# two consecutive runs at different thread counts must be
+# byte-identical.
+cargo run --release -q -p ft-bench --bin campaign -- --quick --durable-only --threads 4 --out .
+cargo run --release -q -p ft-bench --bin campaign -- --quick --durable-only --threads 2 --out durable_rerun
+cmp BENCH_durable.json durable_rerun/BENCH_durable.json \
+  || { echo "ci: BENCH_durable.json not deterministic across runs" >&2; exit 1; }
+rm -rf durable_rerun
+[[ -s BENCH_durable.json ]] || { echo "ci: missing BENCH_durable.json" >&2; exit 1; }
+
+# Real-process crashtest smoke: a strided subset of the 254 exported
+# kill -9 schedules on nvi + taskfarm under fsync-per-commit (power-cut
+# and torn-append loss models) plus the three seeded-mutant self-tests,
+# then the full matrix under --fsync none (no per-commit fsync, so the
+# whole 254-trial sweep stays fast). The binary exits nonzero on any
+# honest-backend oracle violation or any mutant escape.
+cargo run --release -q -p ft-crashtest --bin crashtest -- --quick
+cargo run --release -q -p ft-crashtest --bin crashtest -- --fsync none --skip-mutants
+
 # Model-checker smoke: exhaust every crash point (including mid-commit
 # sub-steps) of small nvi and taskfarm workloads under all seven
 # protocols, asserting serial/sharded exploration equivalence. The binary

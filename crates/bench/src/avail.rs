@@ -230,6 +230,7 @@ fn violation_kind(v: &InvariantViolation) -> &'static str {
         InvariantViolation::Incomplete { .. } => "incomplete",
         InvariantViolation::InconsistentOutput(_) => "inconsistent-output",
         InvariantViolation::PrefixDivergence { .. } => "prefix-divergence",
+        InvariantViolation::CommitRolledBack { .. } => "commit-rolled-back",
     }
 }
 

@@ -17,6 +17,10 @@
 //! * `--quick` — small trial counts (the CI smoke configuration);
 //! * `--avail-only` — run only the availability stage (the CI smoke's
 //!   byte-identity double run uses this);
+//! * `--durable-only` — run only the durable-backend stage (three-media
+//!   overhead grid + real log-engine probe; `BENCH_durable.json` carries
+//!   no wall-clock numbers, so CI asserts it byte-identical across two
+//!   runs);
 //! * `--target-crashes C` / `--max-trials M` — Table 1 sizing;
 //! * `--table2-trials T` — Table 2 sizing;
 //! * `--out DIR` — where to write the `BENCH_*.json` files (default `.`).
@@ -34,7 +38,11 @@ use ft_bench::campaign::{
     self, fig8_json, loss_json, run_campaign_par, run_campaign_serial, run_fig8_par,
     run_fig8_serial, table1_json, table2_json, CampaignConfig, WallClock,
 };
+use ft_bench::durable::{durable_grid, durable_grid_par, engine_probe, probe_json, rows_json};
+use ft_bench::json::Json;
 use ft_bench::runner::default_threads;
+use ft_bench::scenarios;
+use ft_core::protocol::Protocol;
 use ft_dc::MicrorebootMutation;
 
 struct Args {
@@ -42,6 +50,8 @@ struct Args {
     cfg: CampaignConfig,
     avail: AvailConfig,
     avail_only: bool,
+    durable_only: bool,
+    quick: bool,
     out: PathBuf,
 }
 
@@ -51,6 +61,8 @@ fn parse_args() -> Result<Args, String> {
         cfg: CampaignConfig::default(),
         avail: AvailConfig::default(),
         avail_only: false,
+        durable_only: false,
+        quick: false,
         out: PathBuf::from("."),
     };
     let mut it = std::env::args().skip(1);
@@ -65,8 +77,10 @@ fn parse_args() -> Result<Args, String> {
             "--quick" => {
                 args.cfg = CampaignConfig::quick();
                 args.avail = AvailConfig::quick();
+                args.quick = true;
             }
             "--avail-only" => args.avail_only = true,
+            "--durable-only" => args.durable_only = true,
             "--target-crashes" => {
                 args.cfg.target_crashes = value("--target-crashes")?
                     .parse()
@@ -92,6 +106,62 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// The durable-backend stage: the three-media overhead grid on nvi and
+/// taskfarm (serial reference vs. sharded, asserted bitwise identical)
+/// plus the real log-engine probe. `BENCH_durable.json` deliberately
+/// carries no wall-clock numbers — CI regenerates it twice and asserts
+/// the two files byte-identical.
+fn durable_stage(args: &Args) -> Result<(), String> {
+    let (echoes, tasks, probe_ops) = if args.quick {
+        (40, 2, 16)
+    } else {
+        (120, 3, 48)
+    };
+    let protos = Protocol::FIGURE8;
+    println!(
+        "durable: three-media grid on nvi + taskfarm × {} protocols, probe {} ops",
+        protos.len(),
+        probe_ops
+    );
+    type Build = Box<dyn Fn() -> ft_bench::scenarios::Built + Sync>;
+    let mut grids = Vec::new();
+    let builds: [(&str, Build); 2] = [
+        ("nvi", Box::new(move || scenarios::nvi(5, echoes))),
+        ("taskfarm", Box::new(move || scenarios::taskfarm(9, tasks))),
+    ];
+    for (name, build) in &builds {
+        let serial = durable_grid(build, &protos);
+        let sharded = durable_grid_par(build, &protos, args.threads);
+        if serial != sharded {
+            return Err(format!(
+                "durable {name} grid serial/sharded MISMATCH — the sharded grid \
+                 diverged from the serial reference"
+            ));
+        }
+        println!(
+            "durable: {name} grid equivalence OK ({} rows)",
+            serial.len()
+        );
+        grids.push(rows_json(name, &serial));
+    }
+    let probe = engine_probe(probe_ops, 7);
+    println!(
+        "durable: engine probe — {} commits, {} log bytes, seq {}, {} replayed on reopen",
+        probe.ops, probe.log_bytes, probe.final_seq, probe.replayed
+    );
+    let doc = Json::obj([
+        ("report", Json::from("durable")),
+        ("quick", Json::from(args.quick)),
+        ("grids", Json::arr(grids)),
+        ("engine_probe", probe_json(&probe)),
+    ]);
+    let path = args.out.join("BENCH_durable.json");
+    std::fs::write(&path, doc.render_pretty())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("wrote {}\n", path.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -104,6 +174,16 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("campaign: creating {}: {e}", args.out.display());
         return ExitCode::FAILURE;
+    }
+
+    if !args.avail_only {
+        if let Err(e) = durable_stage(&args) {
+            eprintln!("campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.durable_only {
+        return ExitCode::SUCCESS;
     }
 
     if !args.avail_only {

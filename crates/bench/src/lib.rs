@@ -13,6 +13,9 @@
 //! * [`avail`] — the continuous-availability stage: Poisson crash
 //!   arrivals, MTTR/nines/goodput per protocol × recovery strategy, with
 //!   every incident's recovery judged by the `ft_core` oracle;
+//! * [`durable`] — the durable-backend stage: the three-media overhead
+//!   grid (Rio / DC-disk / DC-durable) and the real log-engine probe
+//!   behind `BENCH_durable.json`;
 //! * [`stats`] — deterministic (integer nearest-rank) order statistics
 //!   for the report percentiles;
 //! * [`runner`] — the parallel deterministic campaign runner (scoped
@@ -34,6 +37,7 @@
 
 pub mod avail;
 pub mod campaign;
+pub mod durable;
 pub mod fig8;
 pub mod fingerprint;
 pub mod json;

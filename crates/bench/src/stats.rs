@@ -97,6 +97,30 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_is_pinned_for_tiny_samples() {
+        // n = 0: no samples — every percentile renders as 0 ("no
+        // incidents"), not a panic and not an index underflow.
+        for pct in 1..=100 {
+            assert_eq!(percentile(&[], pct), 0, "n=0 pct {pct}");
+        }
+        assert_eq!(percentiles(&[], &[50, 95, 99]), vec![0, 0, 0]);
+        // n = 1: rank ceil(pct/100) = 1 for every pct — always the
+        // lone sample, from p1 through p100.
+        for pct in 1..=100 {
+            assert_eq!(percentile(&[42], pct), 42, "n=1 pct {pct}");
+        }
+        // n = 2: rank ceil(2·pct/100) crosses 1 → 2 exactly after
+        // pct 50 — the nearest-rank median of two is the *lower*
+        // sample, regardless of input order.
+        for pct in 1..=50 {
+            assert_eq!(percentile(&[9, 3], pct), 3, "n=2 pct {pct}");
+        }
+        for pct in 51..=100 {
+            assert_eq!(percentile(&[9, 3], pct), 9, "n=2 pct {pct}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "1..=100")]
     fn zero_percentile_panics() {
         percentile(&[1], 0);

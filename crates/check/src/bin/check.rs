@@ -9,6 +9,7 @@
 //! ```text
 //! check [--out BENCH_check.json] [--threads N] [--smoke]
 //! check --replay <script>            # re-run a shrunk counterexample
+//! check --export-schedules <dir>     # write crashtest kill schedules
 //! ```
 
 use std::process::ExitCode;
@@ -27,6 +28,7 @@ struct Args {
     threads: usize,
     smoke: bool,
     replay: Option<String>,
+    export_schedules: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         threads: default_threads(),
         smoke: false,
         replay: None,
+        export_schedules: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -50,6 +53,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--smoke" => args.smoke = true,
             "--replay" => args.replay = Some(it.next().ok_or("--replay needs a path")?),
+            "--export-schedules" => {
+                args.export_schedules =
+                    Some(it.next().ok_or("--export-schedules needs a directory")?);
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -95,6 +102,24 @@ fn replay(path: &str) -> ExitCode {
     }
 }
 
+/// Writes the standard crashtest kill schedules (one file per child
+/// workload family) into `dir`.
+fn export_schedules(dir: &str) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("check: cannot create {dir}: {e}");
+        return ExitCode::from(2);
+    }
+    for s in ft_check::standard_schedules() {
+        let path = format!("{dir}/schedule_{}.txt", s.workload);
+        if let Err(e) = std::fs::write(&path, ft_check::render_schedule(&s)) {
+            eprintln!("check: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("check: {} kill trials -> {path}", s.len());
+    }
+    ExitCode::SUCCESS
+}
+
 fn sweep_one(w: &Workload, protocol: Protocol, threads: usize) -> (Exploration, f64, f64) {
     let cfg = CheckConfig {
         protocol,
@@ -129,6 +154,9 @@ fn main() -> ExitCode {
     };
     if let Some(path) = &args.replay {
         return replay(path);
+    }
+    if let Some(dir) = &args.export_schedules {
+        return export_schedules(dir);
     }
 
     let (nvi_size, farm_size) = if args.smoke { (2, 1) } else { (4, 2) };

@@ -6,11 +6,12 @@
 //! crash point: a kill before each process's first event, a kill after
 //! every event index of every process, and a kill inside every commit at
 //! each sub-step of the Vista-style atomic commit (pre-log,
-//! mid-undo-walk, post-bump). After each recovery it checks the four
+//! mid-undo-walk, post-bump). After each recovery it checks the five
 //! composed invariants from [`ft_core::oracle`]: the run completes,
 //! Save-work holds on the surviving trace, recovered output is consistent
-//! with the reference (duplicates allowed), and each process's surviving
-//! application events are a legal prefix of its canonical sequence.
+//! with the reference (duplicates allowed), each process's surviving
+//! application events are a legal prefix of its canonical sequence, and
+//! no rollback's journaled window swallows a committed event.
 //!
 //! Exploration is pruned by trace-fingerprint deduplication (two crash
 //! points that produce bit-identical reports are one state) and sharded
@@ -24,16 +25,27 @@
 //! kill that still fails (an empty fault set, when the failure-free run
 //! itself violates, shrinks further still). The result is rendered as a
 //! replayable script that the `check` binary re-executes with `--replay`.
+//!
+//! The same enumeration philosophy is exported for *real* processes:
+//! [`export`] renders kill schedules (event-index and durable-commit
+//! sub-step granularity) that the `crashtest` harness applies to a child
+//! process running against the `ft_mem::durable` log-structured backend,
+//! with genuine `kill -9` delivery instead of simulated crash points.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod explore;
+pub mod export;
 pub mod scenario;
 pub mod script;
 pub mod shrink;
 
 pub use explore::{explore, explore_points, Canonical, Exploration, PointResult};
+pub use export::{
+    enumerate_schedule, parse_schedule, render_schedule, standard_schedules, CrashSchedule,
+    DurableWindow, KillSpec,
+};
 pub use scenario::{CheckConfig, Workload};
 pub use script::{parse_script, render_script, Replay};
 pub use shrink::{shrink, Counterexample};

@@ -73,7 +73,10 @@ pub use consistency::{
 pub use event::{Event, EventId, EventKind, MsgId, NdClass, NdSource, ProcessId};
 pub use graph::{check_lose_work, DangerousPaths, EdgeKind, StateGraph};
 pub use losework::{check_commit_after_activation, conflict_composition, LoseWorkOutcome};
-pub use oracle::{check_prefix_extension, check_recovery, InvariantViolation, OracleVerdict};
+pub use oracle::{
+    check_commit_durability, check_prefix_extension, check_recovery, InvariantViolation,
+    OracleVerdict,
+};
 pub use protocol::{
     coordinated_participants, CommitPlanner, CommitScope, Decision, DepTracker, InterceptedEvent,
     Protocol,

@@ -16,7 +16,11 @@
 //! 4. the surviving history is a **legal prefix-extension** of the
 //!    canonical failure-free run: up to its first crash or rollback,
 //!    every process performed exactly the non-deterministic work and
-//!    emitted exactly the outputs the canonical run records, in order.
+//!    emitted exactly the outputs the canonical run records, in order;
+//! 5. **commit durability** held — no rollback undid a committed event
+//!    ([`check_commit_durability`]): acknowledged-durable state that a
+//!    recovery cannot restore means the persistence layer lied (the
+//!    signature a real skipped-fsync bug leaves in a trace).
 //!
 //! Constraint 4 is the model checker's determinism fence. Constraints 1–3
 //! compare *outcomes*; constraint 4 compares *histories*, so a bug that
@@ -96,6 +100,21 @@ pub enum InvariantViolation {
         /// The recovered event at that index.
         got: AppEvent,
     },
+    /// A rollback undid a *committed* event: the recovery point landed
+    /// before state the process had durably committed, i.e. acknowledged
+    /// durability was lost (a skipped fsync, a truncated-away committed
+    /// record, …). Legal recoveries restore to the last commit, so the
+    /// undone window `[to_seq, rollback)` never contains a commit.
+    CommitRolledBack {
+        /// The process whose committed state was lost.
+        pid: ProcessId,
+        /// The commit id of the lost commit.
+        commit_id: u64,
+        /// The lost commit's sequence number within the process.
+        commit_seq: u64,
+        /// Sequence number of the offending rollback event.
+        rollback_seq: u64,
+    },
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -114,6 +133,16 @@ impl std::fmt::Display for InvariantViolation {
             } => write!(
                 f,
                 "{pid} diverged from the canonical run at app-event {at}: expected {expected:?}, got {got:?}"
+            ),
+            InvariantViolation::CommitRolledBack {
+                pid,
+                commit_id,
+                commit_seq,
+                rollback_seq,
+            } => write!(
+                f,
+                "durability lost: {pid}'s rollback at event {rollback_seq} undid commit \
+                 {commit_id} (event {commit_seq}) — committed state must survive failures"
             ),
         }
     }
@@ -160,6 +189,40 @@ pub fn check_prefix_extension(
     Ok(())
 }
 
+/// Checks commit durability: no rollback may undo a commit event.
+///
+/// A rollback event `Rollback { to_seq }` at sequence `r` of process `p`
+/// declares that `p`'s events in `[to_seq, r)` were undone. A correct
+/// recovery restores exactly to the last commit, so that window never
+/// contains a commit; if it does, state the process had *acknowledged as
+/// durable* was lost — the signature of a skipped fsync or a committed
+/// log record that went missing. The simulator's recoveries uphold this
+/// by construction (they restore to `last commit + 1`); the real-process
+/// crashtest harness relies on this check to catch durability bugs that
+/// deterministic re-execution would otherwise paper over.
+pub fn check_commit_durability(trace: &Trace) -> Result<(), InvariantViolation> {
+    for pi in 0..trace.num_processes() {
+        let p = ProcessId(pi as u32);
+        let events = trace.process(p);
+        for (r, e) in events.iter().enumerate() {
+            if let EventKind::Rollback { to_seq } = e.kind {
+                let start = (to_seq as usize).min(r);
+                for undone in &events[start..r] {
+                    if let EventKind::Commit { commit_id } = undone.kind {
+                        return Err(InvariantViolation::CommitRolledBack {
+                            pid: p,
+                            commit_id,
+                            commit_seq: undone.id.seq,
+                            rollback_seq: r as u64,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Verdict of a full composed-oracle check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OracleVerdict {
@@ -167,7 +230,7 @@ pub struct OracleVerdict {
     pub duplicates: usize,
 }
 
-/// Runs all four composed invariants over a recovered run.
+/// Runs all five composed invariants over a recovered run.
 ///
 /// `canonical`/`reference_visibles` describe the failure-free execution;
 /// `recovered`/`recovered_visibles` the run under test (visibles are
@@ -186,6 +249,7 @@ pub fn check_recovery(
         return Err(InvariantViolation::Incomplete { abandoned });
     }
     check_save_work(recovered).map_err(InvariantViolation::SaveWork)?;
+    check_commit_durability(recovered)?;
     check_prefix_extension(canonical, recovered)?;
     let verdict = check_consistent_recovery_multi(recovered_visibles, reference_visibles);
     if !verdict.consistent {
@@ -353,6 +417,55 @@ mod tests {
                 AppEvent::Visible { token: 7 },
             ]
         );
+    }
+
+    #[test]
+    fn rollback_past_a_commit_is_a_durability_violation() {
+        let (c, vis) = canonical();
+        // P0 commits, works, crashes — and the recovery rolls back to
+        // BEFORE the commit (to_seq 0): the committed state was lost.
+        let mut b = TraceBuilder::new(2);
+        b.nd(p(0), NdSource::Random);
+        b.commit(p(0)); // seq 1
+        let (_, m) = b.send(p(0), p(1));
+        b.crash(p(0));
+        b.rollback(p(0), 0); // Undoes [0, 4): includes the commit.
+        b.recv_logged(p(1), p(0), m);
+        b.visible(p(1), 7);
+        let err = check_recovery(&c, &vis, &b.finish(), &vis, 0).unwrap_err();
+        assert_eq!(
+            err,
+            InvariantViolation::CommitRolledBack {
+                pid: p(0),
+                commit_id: 0,
+                commit_seq: 1,
+                rollback_seq: 4,
+            }
+        );
+        assert!(err.to_string().contains("durability lost"));
+    }
+
+    #[test]
+    fn rollback_to_the_last_commit_is_durable() {
+        // The legal shape: the undone window starts just past the commit.
+        let mut b = TraceBuilder::new(1);
+        b.nd(p(0), NdSource::Random);
+        b.commit(p(0)); // seq 1
+        b.visible(p(0), 3); // seq 2 — uncommitted, legally undone
+        b.crash(p(0)); // seq 3
+        b.rollback(p(0), 2);
+        assert!(check_commit_durability(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn commit_durability_ignores_other_processes_commits() {
+        // P1's rollback window must not be confused by P0's commits.
+        let mut b = TraceBuilder::new(2);
+        b.commit(p(0));
+        b.nd(p(1), NdSource::Random);
+        b.crash(p(1));
+        b.rollback(p(1), 0);
+        assert!(check_commit_durability(&b.finish()).is_ok());
     }
 
     #[test]

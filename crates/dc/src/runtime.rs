@@ -247,6 +247,18 @@ impl DcRuntime {
                 self.commit_arena_at(q, ctx.sim(), None, crash)
             })
             .collect();
+        // The round's prepare control edges are journaled *before* the
+        // commit events (see `record_coordinated_commit`): the coordinator
+        // sends one prepare per remote and each remote receives one. The
+        // snapshots above only reserved room for the commit event itself,
+        // so advance each participant's committed trace position past its
+        // prepare edges too — otherwise a later rollback journals a window
+        // that swallows the committed round's own commit event.
+        let remotes = participants.iter().filter(|&&q| q != me).count() as u64;
+        for &q in &participants {
+            let st = &mut self.states[q.index()];
+            st.committed.trace_pos += if q == me { remotes } else { 1 };
+        }
         ctx.record_coordinated_commit(&participants, &costs);
         if kill.is_some() {
             ctx.mark_killed();

@@ -98,6 +98,17 @@ impl DcConfig {
             ..DcConfig::discount_checking(protocol)
         }
     }
+
+    /// DC-durable — the log-structured file backend's calibrated cost
+    /// model (`ft_mem::durable` is the real engine; this medium prices
+    /// its sequential append + fsync commits inside the simulation) —
+    /// with the given protocol.
+    pub fn durable(protocol: Protocol) -> Self {
+        DcConfig {
+            medium: Medium::durable_log(),
+            ..DcConfig::discount_checking(protocol)
+        }
+    }
 }
 
 /// A non-deterministic result captured by a commit executed immediately
@@ -270,5 +281,11 @@ mod tests {
         let disk = DcConfig::dc_disk(Protocol::Cand);
         assert_eq!(disk.medium.name(), "DC-disk");
         assert_eq!(disk.max_recoveries, 3);
+        let durable = DcConfig::durable(Protocol::Cand);
+        assert_eq!(durable.medium.name(), "DC-durable");
+        assert_eq!(durable.protocol, Protocol::Cand);
+        // Same recovery knobs as the other media: only the commit
+        // pricing differs.
+        assert_eq!(durable.reboot_delay_ns, disk.reboot_delay_ns);
     }
 }

@@ -382,6 +382,16 @@ impl Arena {
         self.undo.len()
     }
 
+    /// Indices of the pages dirtied since the last commit, ascending.
+    /// The durable backend reads these pages' *after*-images when
+    /// encoding a redo record; sorting makes the encoding canonical
+    /// (equal states produce equal log bytes regardless of write order).
+    pub fn dirty_page_indices(&self) -> Vec<usize> {
+        let mut pages: Vec<usize> = self.undo.iter().map(|(p, _)| *p).collect();
+        pages.sort_unstable();
+        pages
+    }
+
     /// Buffers currently parked in the undo-page pool (observability for
     /// tests and bench reports).
     pub fn pooled_pages(&self) -> usize {

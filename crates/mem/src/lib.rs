@@ -13,8 +13,13 @@
 //! * [`mod@vec`] — typed growable vectors stored in arena pages, the container
 //!   the workload applications build on;
 //! * [`pod`] — fixed-layout value encoding (safe, explicit, little-endian);
-//! * [`cost`] — calibrated commit cost models for Rio (Discount Checking)
-//!   and synchronous disk (DC-disk);
+//! * [`cost`] — calibrated commit cost models for Rio (Discount Checking),
+//!   synchronous disk (DC-disk), and the log-structured file backend
+//!   (DC-durable);
+//! * [`durable`] — the real thing behind DC-durable: an append-only
+//!   CRC32-framed redo log plus checkpoint file on an actual filesystem,
+//!   with torn-tail-truncating / corruption-fail-stop recovery (the
+//!   engine `crates/crashtest` kills with real `SIGKILL`s);
 //! * [`error`] — memory faults, which the applications surface as crash
 //!   events.
 //!
@@ -40,6 +45,7 @@
 pub mod alloc;
 pub mod arena;
 pub mod cost;
+pub mod durable;
 pub mod error;
 pub mod mem;
 pub mod pod;
@@ -47,7 +53,11 @@ pub mod vec;
 
 pub use alloc::Allocator;
 pub use arena::{Arena, ArenaStats, CommitCrashPoint, CommitRecord, Layout, Region, PAGE_SIZE};
-pub use cost::{DiskModel, Medium, Nanos, RioModel};
+pub use cost::{DiskModel, DurableModel, Medium, Nanos, RioModel};
+pub use durable::{
+    DurableError, DurableMutation, DurableOptions, DurableResult, DurableStore, FsyncPolicy,
+    RecoveryInfo,
+};
 pub use error::{MemFault, MemResult};
 pub use mem::{ArenaCell, Mem};
 pub use pod::Pod;

@@ -21,6 +21,21 @@ if [[ -n "$determinism_violations" ]]; then
   exit 1
 fi
 
+# Perf-regression gate: the hot-path micro-benches must stay within
+# SLOWDOWN_TOLERANCE of the committed baseline (generous: catches gross
+# regressions, not host jitter). Self-test first: a seeded busy-wait in
+# the event-queue bench must trip the gate, proving it can fail. Set
+# FT_SKIP_PERF_GATE=1 to skip on known-noisy hosts.
+if [[ -z "${FT_SKIP_PERF_GATE:-}" ]]; then
+  if cargo run --release -q -p ft-bench --bin perf --       --mutate spin --check ci/perf_baseline.json --out /dev/null >/dev/null 2>&1; then
+    echo "ci: perf gate self-test failed: seeded regression was not caught" >&2
+    exit 1
+  fi
+  cargo run --release -q -p ft-bench --bin perf --     --check ci/perf_baseline.json --out BENCH_perf.json
+else
+  echo "ci: perf gate skipped (FT_SKIP_PERF_GATE set)"
+fi
+
 # Campaign smoke: the parallel runner must reproduce the serial rows
 # bitwise for both the fault-injection matrix and the Figure 8 grids (the
 # binary exits nonzero on any serial/parallel mismatch) and emit the four

@@ -9,7 +9,7 @@ use ft_dc::recovery::{MicrorebootMutation, Strategy};
 fn sharded_runs_match_the_serial_reference_bitwise() {
     let cfg = AvailConfig::quick();
     let serial = run_avail(&cfg, 1);
-    for threads in [2, 4] {
+    for threads in [2, 4, 7] {
         let sharded = run_avail(&cfg, threads);
         assert_eq!(
             serial, sharded,

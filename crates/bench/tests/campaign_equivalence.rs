@@ -9,6 +9,7 @@ use ft_bench::campaign::{
     run_campaign_par, run_campaign_serial, run_fig8_par, run_fig8_serial, CampaignConfig,
     Fig8Config,
 };
+use ft_bench::durable::{durable_grid, durable_grid_par};
 use ft_bench::loss::{loss_sweep, loss_sweep_par};
 use ft_bench::scenarios;
 use ft_bench::table1::{self, Table1App};
@@ -131,5 +132,19 @@ fn fig8_stage_parallel_equals_serial() {
     let serial = run_fig8_serial(&cfg);
     for threads in THREAD_COUNTS {
         assert_eq!(run_fig8_par(&cfg, threads), serial, "{threads} threads");
+    }
+}
+
+/// The durable-backend stage under the same contract: the sharded
+/// three-media grid must be bitwise identical to the serial reference at
+/// every thread count.
+#[test]
+fn durable_grid_parallel_equals_serial() {
+    let build = || scenarios::taskfarm(9, 2);
+    let protos = Protocol::FIGURE8;
+    let serial = durable_grid(&build, &protos);
+    for threads in THREAD_COUNTS {
+        let par = durable_grid_par(&build, &protos, threads);
+        assert_eq!(par, serial, "{threads} threads");
     }
 }

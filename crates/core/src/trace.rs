@@ -13,6 +13,23 @@ use std::collections::HashMap;
 use crate::clock::{happens_before, VectorClock};
 use crate::event::{Event, EventId, EventKind, MsgId, NdClass, NdSource, ProcessId};
 
+/// Chunk size for reserve-ahead appends on recording hot paths.
+pub const RECORD_CHUNK: usize = 256;
+
+/// Reserve-ahead chunked append for recording hot paths: reserves a whole
+/// [`RECORD_CHUNK`] whenever the vector is at capacity, so a fresh log
+/// skips the 1-2-4-8 doubling cascade of plain `push` (one allocation per
+/// 256 records early on). Still amortized O(1): once the vector is large,
+/// `Vec::reserve` grows at least geometrically regardless of the
+/// requested additional capacity.
+#[inline]
+pub fn chunked_push<T>(v: &mut Vec<T>, x: T) {
+    if v.len() == v.capacity() {
+        v.reserve(RECORD_CHUNK);
+    }
+    v.push(x);
+}
+
 /// A recorded execution of a computation.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
@@ -151,7 +168,7 @@ impl TraceBuilder {
             logged,
             atomic_group,
         };
-        self.trace.events[p.index()].push(ev);
+        chunked_push(&mut self.trace.events[p.index()], ev);
         id
     }
 

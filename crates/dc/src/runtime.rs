@@ -34,7 +34,7 @@ impl DcRuntime {
             .into_iter()
             .enumerate()
             .map(|(p, mem)| {
-                let kernel = sim.kernel_of(ProcessId(p as u32)).clone();
+                let kernel = sim.kernel_of(ProcessId(p as u32)).snapshot();
                 ProcState::new(p as u32, cfg.protocol, mem, kernel)
             })
             .collect();
@@ -151,13 +151,21 @@ impl DcRuntime {
         // Register file + runtime control block alongside the pages.
         rec.register_bytes = alloc_blob.len() + 128;
         let cost = self.cfg.medium.commit_cost(&rec);
+        // Recycle the outgoing snapshot's table allocations too.
+        let mut send_seqs = std::mem::take(&mut st.committed.send_seqs);
+        send_seqs.clear();
+        send_seqs.extend_from_slice(sim.send_seqs(pid));
+        let mut consumed = std::mem::take(&mut st.committed.consumed);
+        sim.network().consumed_counts_into(pid, &mut consumed);
+        let mut kernel = std::mem::take(&mut st.committed.kernel);
+        sim.kernel_of(pid).snapshot_into(&mut kernel);
         st.committed = CommittedState {
             alloc_blob,
             input_cursor: sim.input_cursor(pid),
             signal_cursor: sim.signal_cursor(pid),
-            send_seqs: sim.send_seqs(pid),
-            consumed: sim.network().consumed_counts(pid),
-            kernel: sim.kernel_of(pid).clone(),
+            send_seqs,
+            consumed,
+            kernel,
             pending_nd: pending,
             // The commit event itself is recorded right after this
             // snapshot, so everything up to and including it survives a
@@ -355,8 +363,8 @@ impl DcRuntime {
             st.mem.alloc = decode_alloc(&st.committed.alloc_blob);
             sim.set_input_cursor(q, st.committed.input_cursor);
             sim.set_signal_cursor(q, st.committed.signal_cursor);
-            sim.set_send_seqs(q, st.committed.send_seqs.clone());
-            sim.restore_kernel(q, st.committed.kernel.clone());
+            sim.set_send_seqs(q, &st.committed.send_seqs);
+            sim.restore_kernel(q, &st.committed.kernel);
             sim.network_mut().rewind_receiver(q, &st.committed.consumed);
             // The failed process lost events after its last commit; any
             // tainted message it sent in that window is withdrawn, and
@@ -403,8 +411,8 @@ impl DcRuntime {
         st.mem.alloc = decode_alloc(&st.committed.alloc_blob);
         sim.set_input_cursor(pid, st.committed.input_cursor);
         sim.set_signal_cursor(pid, st.committed.signal_cursor);
-        sim.set_send_seqs(pid, st.committed.send_seqs.clone());
-        sim.restore_kernel(pid, st.committed.kernel.clone());
+        sim.set_send_seqs(pid, &st.committed.send_seqs);
+        sim.restore_kernel(pid, &st.committed.kernel);
         sim.network_mut()
             .rewind_receiver(pid, &st.committed.consumed);
         st.planner = CommitPlanner::new(protocol);

@@ -1,8 +1,6 @@
 //! Per-process recovery-runtime state: configuration, committed snapshots,
 //! and pending non-deterministic results.
 
-use std::collections::HashMap;
-
 use ft_core::protocol::{CommitPlanner, DepTracker, Protocol};
 use ft_faults::arrivals::EscalationPolicy;
 use ft_mem::arena::CommitCrashPoint;
@@ -11,7 +9,7 @@ use crate::recovery::{MicrorebootMutation, Strategy};
 use ft_mem::cost::Medium;
 use ft_mem::mem::Mem;
 use ft_sim::cost::SimTime;
-use ft_sim::kernel::Kernel;
+use ft_sim::kernel::KernelSnapshot;
 use ft_sim::syscalls::{Message, SysResult};
 
 /// A sub-step kill injected inside one specific commit (the `ft-check`
@@ -142,12 +140,14 @@ pub struct CommittedState {
     pub input_cursor: usize,
     /// Signal-schedule position.
     pub signal_cursor: usize,
-    /// Per-channel send counters.
-    pub send_seqs: HashMap<u32, u64>,
-    /// Per-sender consumed-message counts.
-    pub consumed: HashMap<u32, usize>,
-    /// Kernel state snapshot (reconstructed on recovery, §3).
-    pub kernel: Kernel,
+    /// Per-channel send counters, dense by destination index (empty means
+    /// all zeros — no message had been sent yet at snapshot time).
+    pub send_seqs: Vec<u64>,
+    /// Per-sender consumed-message counts, dense by sender index.
+    pub consumed: Vec<usize>,
+    /// Kernel state snapshot — file names and lengths, not bytes
+    /// (reconstructed on recovery by append-only truncation, §3).
+    pub kernel: KernelSnapshot,
     /// A commit-after-nd result to replay.
     pub pending_nd: Option<PendingNd>,
     /// The process's trace position at commit time: events at or beyond
@@ -205,7 +205,7 @@ pub struct ProcState {
 impl ProcState {
     /// Creates a process state with its initial snapshot (the initial state
     /// of any application is always committed, §4).
-    pub fn new(pid: u32, protocol: Protocol, mut mem: Mem, kernel: Kernel) -> Self {
+    pub fn new(pid: u32, protocol: Protocol, mut mem: Mem, kernel: KernelSnapshot) -> Self {
         mem.arena.commit();
         let alloc_blob = encode_alloc(&mem.alloc);
         ProcState {
@@ -216,8 +216,8 @@ impl ProcState {
                 alloc_blob,
                 input_cursor: 0,
                 signal_cursor: 0,
-                send_seqs: HashMap::new(),
-                consumed: HashMap::new(),
+                send_seqs: Vec::new(),
+                consumed: Vec::new(),
                 kernel,
                 pending_nd: None,
                 trace_pos: 0,
@@ -266,7 +266,7 @@ mod tests {
     #[test]
     fn proc_state_initial_snapshot_is_clean() {
         let mem = Mem::new(Layout::small());
-        let kernel = Kernel::new(8, 1000, 0);
+        let kernel = ft_sim::Kernel::new(8, 1000, 0).snapshot();
         let st = ProcState::new(0, Protocol::Cpvs, mem, kernel);
         assert!(st.committed.pending_nd.is_none());
         assert_eq!(st.committed.input_cursor, 0);

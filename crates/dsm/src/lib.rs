@@ -292,6 +292,7 @@ impl Dsm {
         Ok(out)
     }
 
+    #[cfg(test)]
     fn apply_diffs(&self, mem: &mut Mem, diffs: &[PageDiff]) -> MemResult<()> {
         for d in diffs {
             if d.page as usize >= self.n_pages {
@@ -339,8 +340,7 @@ impl Dsm {
                 continue;
             }
             let payload = mem.arena.read(slot + 8, len as usize)?.to_vec();
-            let diff = wire::decode_diff_msg(&payload)?;
-            self.apply_diffs(mem, &diff.diffs)?;
+            self.apply_diff_msg_in_place(mem, &payload)?;
             mem.arena.write_pod(slot, 0u64)?;
         }
         Ok(())
@@ -385,17 +385,62 @@ impl Dsm {
     /// they must not be re-published at the next release or barrier.
     /// Returns the number of bytes applied.
     fn apply_serialized_diffs(&self, mem: &mut Mem, payload: &[u8]) -> MemResult<usize> {
-        let diffs = wire::decode_diffs(payload)?;
-        self.apply_diffs(mem, &diffs)?;
-        let mut applied = 0;
-        for d in &diffs {
-            let base = self.twin_off + d.page as usize * DSM_PAGE;
-            for (off, bytes) in &d.runs {
-                mem.arena.write(base + *off as usize, bytes)?;
-                applied += bytes.len();
+        // Region pass, streamed in place (same checks, same order as
+        // [`Dsm::apply_diffs`], no materialized `PageDiff`s).
+        let mut base = 0usize;
+        wire::visit_diffs(payload, &mut |ev| match ev {
+            wire::DiffEvent::Page(page) => {
+                if page as usize >= self.n_pages {
+                    return Err(MemFault::InvariantViolated { check: 0xD5 });
+                }
+                base = self.region_off + page as usize * DSM_PAGE;
+                Ok(())
             }
-        }
+            wire::DiffEvent::Run(off, bytes) => {
+                if off as usize + bytes.len() > DSM_PAGE {
+                    return Err(MemFault::InvariantViolated { check: 0xD5 });
+                }
+                mem.arena.write(base + off as usize, bytes)
+            }
+        })?;
+        // Twin pass (bounds already proven by the region pass).
+        let mut applied = 0;
+        let mut base = 0usize;
+        wire::visit_diffs(payload, &mut |ev| match ev {
+            wire::DiffEvent::Page(page) => {
+                base = self.twin_off + page as usize * DSM_PAGE;
+                Ok(())
+            }
+            wire::DiffEvent::Run(off, bytes) => {
+                mem.arena.write(base + off as usize, bytes)?;
+                applied += bytes.len();
+                Ok(())
+            }
+        })?;
         Ok(applied)
+    }
+
+    /// Streaming equivalent of `decode_diff_msg` + [`Dsm::apply_diffs`]:
+    /// validates the payload up front, then applies runs borrowed in
+    /// place — the receive hot path materializes no `PageDiff`s.
+    fn apply_diff_msg_in_place(&self, mem: &mut Mem, payload: &[u8]) -> MemResult<()> {
+        let mut base = 0usize;
+        wire::visit_diff_msg(payload, &mut |ev| match ev {
+            wire::DiffEvent::Page(page) => {
+                if page as usize >= self.n_pages {
+                    return Err(MemFault::InvariantViolated { check: 0xD5 });
+                }
+                base = self.region_off + page as usize * DSM_PAGE;
+                Ok(())
+            }
+            wire::DiffEvent::Run(off, bytes) => {
+                if off as usize + bytes.len() > DSM_PAGE {
+                    return Err(MemFault::InvariantViolated { check: 0xD5 });
+                }
+                mem.arena.write(base + off as usize, bytes)
+            }
+        })?;
+        Ok(())
     }
 
     /// Folds this node's dirty pages into the twin and clears their dirty
@@ -426,14 +471,18 @@ impl Dsm {
             if payload.is_empty() {
                 continue;
             }
-            let diffs = wire::decode_diffs(payload)?;
-            for d in &diffs {
-                for (off, run) in &d.runs {
-                    for (i, &b) in run.iter().enumerate() {
-                        bytes.insert((d.page, off + i as u32), b);
+            let mut page = 0u32;
+            wire::visit_diffs(payload, &mut |ev| {
+                match ev {
+                    wire::DiffEvent::Page(p) => page = p,
+                    wire::DiffEvent::Run(off, run) => {
+                        for (i, &b) in run.iter().enumerate() {
+                            bytes.insert((page, off + i as u32), b);
+                        }
                     }
                 }
-            }
+                Ok(())
+            })?;
         }
         let mut out: Vec<PageDiff> = Vec::new();
         for ((page, off), b) in bytes {
@@ -552,28 +601,32 @@ impl Dsm {
         payload: &[u8],
     ) -> MemResult<()> {
         let round = self.ctrl(C_ROUND).get(&sys.mem().arena)?;
-        let diff = wire::decode_diff_msg(payload)?;
-        if diff.round == round {
-            let applied: usize = diff
-                .diffs
-                .iter()
-                .map(|d| d.runs.iter().map(|(_, b)| b.len()).sum::<usize>())
-                .sum();
-            self.apply_diffs(sys.mem(), &diff.diffs)?;
+        // Validate and read the header without materializing the diffs;
+        // a malformed payload errors out here, before any state changes,
+        // exactly as the materializing decoder did.
+        let mut applied = 0usize;
+        let (msg_round, msg_from) = wire::visit_diff_msg(payload, &mut |ev| {
+            if let wire::DiffEvent::Run(_, bytes) = ev {
+                applied += bytes.len();
+            }
+            Ok(())
+        })?;
+        if msg_round == round {
+            self.apply_diff_msg_in_place(sys.mem(), payload)?;
             sys.compute((applied as u64 / 256 + 1) * US);
         } else {
-            self.stash_put(sys.mem(), diff.from, payload)?;
+            self.stash_put(sys.mem(), msg_from, payload)?;
         }
         // Mark arrival in the round's parity mask (early diffs land in the
         // other parity).
-        let f = if diff.round % 2 == 0 {
+        let f = if msg_round % 2 == 0 {
             C_MASK_EVEN
         } else {
             C_MASK_ODD
         };
         let c = self.ctrl(f);
         let m = sys.mem();
-        let v = c.get(&m.arena)? | (1 << diff.from);
+        let v = c.get(&m.arena)? | (1 << msg_from);
         c.set(&mut m.arena, v)?;
         Ok(())
     }

@@ -95,6 +95,7 @@ fn encode_diffs_into(out: &mut Vec<u8>, diffs: &[PageDiff]) {
     }
 }
 
+#[cfg(test)]
 fn decode_diffs_from(r: &mut Reader) -> MemResult<Vec<PageDiff>> {
     let n = r.u32()? as usize;
     let mut diffs = Vec::with_capacity(n.min(1 << 16));
@@ -111,6 +112,87 @@ fn decode_diffs_from(r: &mut Reader) -> MemResult<Vec<PageDiff>> {
     Ok(diffs)
 }
 
+/// Validates the structure of a diffs section without allocating or
+/// materializing anything: every count, offset, and run must lie inside
+/// the payload.
+fn validate_diffs_from(r: &mut Reader) -> MemResult<()> {
+    let n = r.u32()? as usize;
+    for _ in 0..n {
+        let _page = r.u32()?;
+        let n_runs = r.u32()? as usize;
+        for _ in 0..n_runs {
+            let _off = r.u32()?;
+            let len = r.u32()? as usize;
+            r.bytes(len)?;
+        }
+    }
+    Ok(())
+}
+
+/// One step of a streamed diff decode: a new page diff beginning (emitted
+/// even for a diff with no runs, so semantic page checks fire exactly as
+/// they do on the materialized path), or one run within the current page.
+pub(crate) enum DiffEvent<'a> {
+    /// A page diff begins.
+    Page(u32),
+    /// One run of the current page: `(offset, bytes)`, the bytes borrowed
+    /// straight from the payload.
+    Run(u32, &'a [u8]),
+}
+
+/// Walks a (previously validated) diffs section, streaming
+/// [`DiffEvent`]s borrowed from the payload.
+fn visit_diffs_from(
+    r: &mut Reader,
+    f: &mut dyn FnMut(DiffEvent) -> MemResult<()>,
+) -> MemResult<()> {
+    let n = r.u32()? as usize;
+    for _ in 0..n {
+        f(DiffEvent::Page(r.u32()?))?;
+        let n_runs = r.u32()? as usize;
+        for _ in 0..n_runs {
+            let off = r.u32()?;
+            let len = r.u32()? as usize;
+            f(DiffEvent::Run(off, r.bytes(len)?))?;
+        }
+    }
+    Ok(())
+}
+
+/// In-place decode of a bare diff vector: validates the whole payload
+/// first — malformed input is rejected *before* any callback mutates
+/// state, exactly like the materializing [`decode_diffs`] — then streams
+/// [`DiffEvent`]s borrowed from the payload. The per-run `Vec`
+/// allocations of the materializing decoder never happen.
+pub(crate) fn visit_diffs(
+    payload: &[u8],
+    f: &mut dyn FnMut(DiffEvent) -> MemResult<()>,
+) -> MemResult<()> {
+    let mut r = Reader::new(payload);
+    validate_diffs_from(&mut r)?;
+    r.finish()?;
+    visit_diffs_from(&mut Reader::new(payload), f)
+}
+
+/// In-place decode of a barrier diff message: validates everything, then
+/// streams the runs like [`visit_diffs`]. Returns the `(round, from)`
+/// header.
+pub(crate) fn visit_diff_msg(
+    payload: &[u8],
+    f: &mut dyn FnMut(DiffEvent) -> MemResult<()>,
+) -> MemResult<(u64, u32)> {
+    let mut r = Reader::new(payload);
+    let round = r.u64()?;
+    let from = r.u32()?;
+    validate_diffs_from(&mut r)?;
+    r.finish()?;
+    let mut r = Reader::new(payload);
+    r.u64()?;
+    r.u32()?;
+    visit_diffs_from(&mut r, f)?;
+    Ok((round, from))
+}
+
 /// Encodes a bare diff vector (lock release / grant payloads).
 pub(crate) fn encode_diffs(diffs: &[PageDiff]) -> Vec<u8> {
     let mut out = Vec::with_capacity(diffs_encoded_len(diffs));
@@ -118,7 +200,8 @@ pub(crate) fn encode_diffs(diffs: &[PageDiff]) -> Vec<u8> {
     out
 }
 
-/// Decodes a bare diff vector.
+/// Decodes a bare diff vector (test reference for the streaming visitor).
+#[cfg(test)]
 pub(crate) fn decode_diffs(payload: &[u8]) -> MemResult<Vec<PageDiff>> {
     let mut r = Reader::new(payload);
     let diffs = decode_diffs_from(&mut r)?;
@@ -135,7 +218,8 @@ pub(crate) fn encode_diff_msg(msg: &DiffMsg) -> Vec<u8> {
     out
 }
 
-/// Decodes a barrier diff message.
+/// Decodes a barrier diff message (test reference for the streaming visitor).
+#[cfg(test)]
 pub(crate) fn decode_diff_msg(payload: &[u8]) -> MemResult<DiffMsg> {
     let mut r = Reader::new(payload);
     let round = r.u64()?;
@@ -192,6 +276,52 @@ mod tests {
             12 + diffs_encoded_len(&msg.diffs),
             encode_diff_msg(&msg).len()
         );
+    }
+
+    #[test]
+    fn visitor_matches_materializing_decoder() {
+        let msg = DiffMsg {
+            round: 42,
+            from: 3,
+            diffs: vec![
+                PageDiff {
+                    page: 5,
+                    runs: vec![(0, vec![1, 2]), (60, vec![])],
+                },
+                PageDiff {
+                    page: 0,
+                    runs: vec![],
+                },
+            ],
+        };
+        let bytes = encode_diff_msg(&msg);
+        let mut seen = Vec::new();
+        let (round, from) = visit_diff_msg(&bytes, &mut |ev| {
+            seen.push(match ev {
+                DiffEvent::Page(p) => (true, p, Vec::new()),
+                DiffEvent::Run(off, b) => (false, off, b.to_vec()),
+            });
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!((round, from), (msg.round, msg.from));
+        let mut want = Vec::new();
+        for d in &msg.diffs {
+            want.push((true, d.page, Vec::new()));
+            for (off, run) in &d.runs {
+                want.push((false, *off, run.clone()));
+            }
+        }
+        assert_eq!(seen, want);
+
+        // Malformed payloads are rejected before the callback ever runs.
+        let mut called = false;
+        assert!(visit_diff_msg(&bytes[..bytes.len() - 1], &mut |_| {
+            called = true;
+            Ok(())
+        })
+        .is_err());
+        assert!(!called);
     }
 
     #[test]

@@ -25,9 +25,9 @@ struct OpenFile {
 #[derive(Debug, Clone)]
 pub struct Kernel {
     table: Vec<Option<OpenFile>>,
-    /// Determinism: accessed by file-name key only (`entry`/`get`), never
-    /// iterated — snapshots clone the map whole and comparisons use
-    /// `HashMap`'s order-insensitive `PartialEq`.
+    /// Determinism: accessed by file-name key only (`entry`/`get`) —
+    /// iterated only by snapshot/restore, whose per-name effects are
+    /// order-independent (and snapshots name-sort their contents).
     files: HashMap<String, Vec<u8>>,
     disk_free: u64,
     /// Propagation-fault state: from `start` onward, corrupt the next
@@ -218,6 +218,93 @@ impl Kernel {
     /// Clones the whole filesystem (test/inspection helper).
     pub fn files_snapshot(&self) -> HashMap<String, Vec<u8>> {
         self.files.clone()
+    }
+
+    /// Takes a restorable snapshot. See [`KernelSnapshot`].
+    pub fn snapshot(&self) -> KernelSnapshot {
+        let mut out = KernelSnapshot::default();
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// As [`Kernel::snapshot`], but reusing the caller's buffers — the
+    /// commit hot path recycles the previous snapshot's allocations.
+    pub fn snapshot_into(&self, out: &mut KernelSnapshot) {
+        out.table.clear();
+        out.table.extend(self.table.iter().cloned());
+        out.file_lens.clear();
+        out.file_lens
+            .extend(self.files.iter().map(|(n, d)| (n.clone(), d.len())));
+        // Name-sorted so the snapshot itself is a deterministic value
+        // (restore is order-independent either way, but a canonical form
+        // costs nothing at these file counts).
+        out.file_lens.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out.disk_free = self.disk_free;
+        out.corrupt_plan = self.corrupt_plan;
+        out.panicked = self.panicked;
+        out.rng = self.rng;
+        out.syscalls_serviced = self.syscalls_serviced;
+    }
+
+    /// Restores this kernel to a snapshot taken from it earlier: files
+    /// created since are dropped, surviving files are truncated back to
+    /// their snapshot length, and the scalar state (descriptor table,
+    /// disk space, fault plan, rng, counters) is copied back.
+    pub fn restore(&mut self, snap: &KernelSnapshot) {
+        self.table.clear();
+        self.table.extend(snap.table.iter().cloned());
+        let lens = &snap.file_lens;
+        self.files.retain(|name, data| {
+            match lens.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => {
+                    data.truncate(lens[i].1);
+                    true
+                }
+                Err(_) => false,
+            }
+        });
+        self.disk_free = snap.disk_free;
+        self.corrupt_plan = snap.corrupt_plan;
+        self.panicked = snap.panicked;
+        self.rng = snap.rng;
+        self.syscalls_serviced = snap.syscalls_serviced;
+    }
+}
+
+/// A cheap restorable kernel snapshot: file **names and lengths** plus the
+/// scalar kernel state, instead of a deep copy of every file's bytes.
+///
+/// Sound because the simulated filesystem is append-only — `write` only
+/// extends and nothing ever deletes or rewrites a file — so rolling back
+/// is truncating each surviving file to its snapshot length and dropping
+/// files created since. The snapshot must be restored onto the *same*
+/// kernel it was taken from (or a descendant of it), and at most one
+/// restore point may be live per node: exactly the
+/// [`Simulator::restore_kernel`](crate::sim::Simulator::restore_kernel)
+/// single-process-per-node contract.
+#[derive(Debug, Clone)]
+pub struct KernelSnapshot {
+    table: Vec<Option<OpenFile>>,
+    /// `(name, committed length)`, name-sorted.
+    file_lens: Vec<(String, usize)>,
+    disk_free: u64,
+    corrupt_plan: Option<(u64, u32)>,
+    panicked: bool,
+    rng: SplitMix64,
+    syscalls_serviced: u64,
+}
+
+impl Default for KernelSnapshot {
+    fn default() -> Self {
+        KernelSnapshot {
+            table: Vec::new(),
+            file_lens: Vec::new(),
+            disk_free: 0,
+            corrupt_plan: None,
+            panicked: false,
+            rng: SplitMix64::new(0),
+            syscalls_serviced: 0,
+        }
     }
 }
 

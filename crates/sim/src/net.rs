@@ -34,13 +34,13 @@
 //! arrival that overtakes an earlier undelivered message waits in the
 //! buffer until the head of the channel arrives.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use ft_core::event::{MsgId, ProcessId};
 
 use crate::cost::{SimTime, MS, US};
 use crate::rng::SplitMix64;
-use crate::syscalls::Message;
+use crate::syscalls::{Message, Payload};
 
 /// Sentinel delivery time for a buffered message whose payload has not yet
 /// arrived at the receiver (every transmission attempt so far was lost).
@@ -161,8 +161,8 @@ pub struct NetStats {
 pub struct StoredMsg {
     /// Sender-assigned per-channel sequence number.
     pub seq: u64,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes, shared with every delivered view of this message.
+    pub payload: Payload,
     /// Sender's dependency snapshot.
     pub deps: BTreeSet<u32>,
     /// Sent while the sender had uncommitted non-determinism.
@@ -212,14 +212,41 @@ impl Channel {
     }
 }
 
+/// One receiver's inbound channels, kept in ascending-sender order
+/// (struct-of-arrays: a sorted key column beside a channel column).
+#[derive(Debug, Clone, Default)]
+struct Row {
+    senders: Vec<u32>,
+    chans: Vec<Channel>,
+}
+
+impl Row {
+    fn get(&self, from: u32) -> Option<&Channel> {
+        self.senders
+            .binary_search(&from)
+            .ok()
+            .map(|i| &self.chans[i])
+    }
+
+    fn get_mut(&mut self, from: u32) -> Option<&mut Channel> {
+        self.senders
+            .binary_search(&from)
+            .ok()
+            .map(|i| &mut self.chans[i])
+    }
+}
+
 /// The network fabric.
 #[derive(Debug, Clone)]
 pub struct Network {
-    // A BTreeMap so every scan is in (from, to) order: `try_recv` breaks
-    // same-instant delivery ties toward the lowest sender id DETERMINISTICALLY.
-    // A HashMap here once made replay order differ between the original run
-    // and a recovery's re-execution, breaking log-based protocols.
-    channels: BTreeMap<(u32, u32), Channel>,
+    // Indexed by receiver, each row sender-sorted, so every scan runs in
+    // (from, to) order: `try_recv` breaks same-instant delivery ties toward
+    // the lowest sender id DETERMINISTICALLY, and receiver-side scans touch
+    // only that receiver's channels instead of the whole fabric. (The
+    // predecessor was a BTreeMap keyed by (from, to); a HashMap here once
+    // made replay order differ between the original run and a recovery's
+    // re-execution, breaking log-based protocols.)
+    rows: Vec<Row>,
     /// The installed fabric description; `None` means the plain reliable
     /// network (no transport machinery at all).
     plan: Option<NetFaultPlan>,
@@ -231,7 +258,7 @@ pub struct Network {
 impl Default for Network {
     fn default() -> Self {
         Network {
-            channels: BTreeMap::new(),
+            rows: Vec::new(),
             plan: None,
             frng: SplitMix64::new(0),
             stats: NetStats::default(),
@@ -284,7 +311,24 @@ impl Network {
     }
 
     fn channel_mut(&mut self, from: ProcessId, to: ProcessId) -> &mut Channel {
-        self.channels.entry((from.0, to.0)).or_default()
+        let t = to.index();
+        if self.rows.len() <= t {
+            self.rows.resize_with(t + 1, Row::default);
+        }
+        let row = &mut self.rows[t];
+        let i = match row.senders.binary_search(&from.0) {
+            Ok(i) => i,
+            Err(i) => {
+                row.senders.insert(i, from.0);
+                row.chans.insert(i, Channel::default());
+                i
+            }
+        };
+        &mut row.chans[i]
+    }
+
+    fn chan_mut(&mut self, from: ProcessId, to: ProcessId) -> Option<&mut Channel> {
+        self.rows.get_mut(to.index())?.get_mut(from.0)
     }
 
     /// Enqueues a message. Re-sends of an already-buffered sequence number
@@ -314,7 +358,7 @@ impl Network {
         ch.seq_index.insert(seq, ch.msgs.len());
         ch.msgs.push(StoredMsg {
             seq,
-            payload,
+            payload: Payload::new(payload),
             deps,
             tainted,
             deliver_at,
@@ -360,7 +404,7 @@ impl Network {
         seq: u64,
         t: SimTime,
     ) -> (Option<SimTime>, Option<SimTime>) {
-        let Some(ch) = self.channels.get_mut(&(from.0, to.0)) else {
+        let Some(ch) = self.chan_mut(from, to) else {
             return (None, None);
         };
         if !ch.seq_index.contains_key(&seq) {
@@ -389,9 +433,12 @@ impl Network {
         now: SimTime,
     ) -> (Option<SimTime>, Option<SimTime>) {
         let plan = self.plan.clone().expect("attempt requires a fault plan");
+        // Field-level borrow: `self.stats` and `self.frng` stay usable
+        // while the channel is held.
         let ch = self
-            .channels
-            .get_mut(&(from.0, to.0))
+            .rows
+            .get_mut(to.index())
+            .and_then(|r| r.get_mut(from.0))
             .expect("attempt on a known channel");
         let Some(&idx) = ch.seq_index.get(&seq) else {
             return (None, None);
@@ -470,22 +517,20 @@ impl Network {
     /// `deliver_at` at or before `now` across all of `to`'s channels).
     /// Returns the message plus its trace id.
     pub fn try_recv(&mut self, to: ProcessId, now: SimTime) -> Option<(Message, MsgId)> {
-        let mut best: Option<(u32, SimTime)> = None;
-        for (&(from, t), ch) in &self.channels {
-            if t != to.0 {
-                continue;
-            }
+        let row = self.rows.get_mut(to.index())?;
+        let mut best: Option<(usize, SimTime)> = None;
+        // Ascending-sender scan: a strict `<` keeps the first (lowest
+        // sender) among same-instant candidates.
+        for (i, ch) in row.chans.iter().enumerate() {
             if let Some(m) = ch.msgs.get(ch.cursor) {
                 if m.deliver_at <= now && best.is_none_or(|(_, bt)| m.deliver_at < bt) {
-                    best = Some((from, m.deliver_at));
+                    best = Some((i, m.deliver_at));
                 }
             }
         }
-        let (from, _) = best?;
-        let ch = self
-            .channels
-            .get_mut(&(from, to.0))
-            .expect("channel exists");
+        let (i, _) = best?;
+        let from = row.senders[i];
+        let ch = &mut row.chans[i];
         let m = &ch.msgs[ch.cursor];
         ch.cursor += 1;
         Some((
@@ -505,56 +550,77 @@ impl Network {
     /// channel head is still in the transport's hands — the retransmission
     /// timer, not the receiver, owns the next wake for it).
     pub fn earliest_pending(&self, to: ProcessId) -> Option<SimTime> {
-        self.channels
+        self.rows
+            .get(to.index())?
+            .chans
             .iter()
-            .filter(|(&(_, t), _)| t == to.0)
-            .filter_map(|(_, ch)| ch.msgs.get(ch.cursor).map(|m| m.deliver_at))
+            .filter_map(|ch| ch.msgs.get(ch.cursor).map(|m| m.deliver_at))
             .filter(|&d| d != UNDELIVERED)
             .min()
     }
 
-    /// Snapshot of `to`'s per-sender consumption counts (taken at commit
-    /// time by the recovery runtime). Determinism: the returned map is
-    /// only ever read back by sender key in [`Net::rewind_receiver`],
-    /// which iterates the ordered channel map, not this snapshot.
-    pub fn consumed_counts(&self, to: ProcessId) -> HashMap<u32, usize> {
-        self.channels
-            .iter()
-            .filter(|(&(_, t), _)| t == to.0)
-            .map(|(&(from, _), ch)| (from, ch.cursor))
-            .collect()
+    /// Snapshot of `to`'s per-sender consumption counts, dense by sender
+    /// index (taken at commit time by the recovery runtime). Senders past
+    /// the end of the returned vector have consumed count 0.
+    pub fn consumed_counts(&self, to: ProcessId) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.consumed_counts_into(to, &mut out);
+        out
     }
 
-    /// Rewinds `to`'s delivery cursors to a committed snapshot: messages
-    /// consumed after the snapshot will be re-delivered.
-    pub fn rewind_receiver(&mut self, to: ProcessId, counts: &HashMap<u32, usize>) {
-        for (&(from, t), ch) in self.channels.iter_mut() {
-            if t != to.0 {
-                continue;
+    /// As [`Network::consumed_counts`], but reusing the caller's buffer —
+    /// the commit hot path recycles the previous snapshot's allocation.
+    pub fn consumed_counts_into(&self, to: ProcessId, out: &mut Vec<usize>) {
+        out.clear();
+        let Some(row) = self.rows.get(to.index()) else {
+            return;
+        };
+        if let Some(&max) = row.senders.last() {
+            out.resize(max as usize + 1, 0);
+            for (&from, ch) in row.senders.iter().zip(&row.chans) {
+                out[from as usize] = ch.cursor;
             }
-            ch.cursor = counts.get(&from).copied().unwrap_or(0).min(ch.msgs.len());
+        }
+    }
+
+    /// Rewinds `to`'s delivery cursors to a committed snapshot (dense by
+    /// sender index, as produced by [`Network::consumed_counts`]):
+    /// messages consumed after the snapshot will be re-delivered.
+    pub fn rewind_receiver(&mut self, to: ProcessId, counts: &[usize]) {
+        let Some(row) = self.rows.get_mut(to.index()) else {
+            return;
+        };
+        for (&from, ch) in row.senders.iter().zip(row.chans.iter_mut()) {
+            ch.cursor = counts
+                .get(from as usize)
+                .copied()
+                .unwrap_or(0)
+                .min(ch.msgs.len());
         }
     }
 
     /// Withdraws tainted messages `from` sent at-or-after the given
-    /// per-channel sequence floor (its committed send counts): the sender
-    /// rolled back past them and may not regenerate them. Untainted
-    /// messages beyond the floor are kept — the sender's replay is
-    /// deterministic up to them and dedup will match the re-sends.
+    /// per-channel sequence floor (its committed send counts, dense by
+    /// destination index): the sender rolled back past them and may not
+    /// regenerate them. Untainted messages beyond the floor are kept —
+    /// the sender's replay is deterministic up to them and dedup will
+    /// match the re-sends.
     ///
     /// Returns the receivers that had already consumed a withdrawn message;
     /// the recovery manager must cascade their rollback.
     pub fn withdraw_tainted(
         &mut self,
         from: ProcessId,
-        committed_send_counts: &HashMap<u32, u64>,
+        committed_send_counts: &[u64],
     ) -> Vec<ProcessId> {
         let mut cascade = Vec::new();
-        for (&(f, to), ch) in self.channels.iter_mut() {
-            if f != from.0 {
+        // Ascending-receiver iteration preserves the old (from, to)
+        // BTreeMap cascade order.
+        for (to, row) in (0u32..).zip(self.rows.iter_mut()) {
+            let Some(ch) = row.get_mut(from.0) else {
                 continue;
-            }
-            let floor = committed_send_counts.get(&to).copied().unwrap_or(0);
+            };
+            let floor = committed_send_counts.get(to as usize).copied().unwrap_or(0);
             let mut kept = Vec::with_capacity(ch.msgs.len());
             let mut removed_consumed = false;
             for (i, m) in ch.msgs.drain(..).enumerate() {
@@ -589,12 +655,16 @@ impl Network {
 
     /// Read access to a channel (tests / inspection).
     pub fn channel(&self, from: ProcessId, to: ProcessId) -> Option<&Channel> {
-        self.channels.get(&(from.0, to.0))
+        self.rows.get(to.index())?.get(from.0)
     }
 
     /// Total buffered messages (tests).
     pub fn total_buffered(&self) -> usize {
-        self.channels.values().map(|c| c.msgs.len()).sum()
+        self.rows
+            .iter()
+            .flat_map(|r| &r.chans)
+            .map(|c| c.msgs.len())
+            .sum()
     }
 }
 
@@ -747,9 +817,8 @@ mod tests {
             0,
             mid(2),
         );
-        let mut counts = HashMap::new();
-        counts.insert(1u32, 1u64);
-        let cascade = n.withdraw_tainted(p(0), &counts);
+        // Dense by receiver index: receiver 1 has committed-send floor 1.
+        let cascade = n.withdraw_tainted(p(0), &[0, 1]);
         assert!(cascade.is_empty(), "nothing consumed yet");
         let ch = n.channel(p(0), p(1)).unwrap();
         assert_eq!(ch.messages().len(), 2);
@@ -771,7 +840,7 @@ mod tests {
             mid(0),
         );
         n.try_recv(p(1), 10).unwrap();
-        let cascade = n.withdraw_tainted(p(0), &HashMap::new());
+        let cascade = n.withdraw_tainted(p(0), &[]);
         assert_eq!(cascade, vec![p(1)]);
         assert_eq!(n.total_buffered(), 0);
     }
@@ -783,7 +852,7 @@ mod tests {
         n.send(p(2), p(1), 0, vec![], Default::default(), false, 0, mid(1));
         n.try_recv(p(1), 10).unwrap();
         let counts = n.consumed_counts(p(1));
-        let total: usize = counts.values().sum();
+        let total: usize = counts.iter().sum();
         assert_eq!(total, 1);
     }
 
@@ -812,7 +881,7 @@ mod tests {
             6,
             mid(1),
         );
-        n.withdraw_tainted(p(0), &HashMap::new()); // Removes seq 0 only.
+        n.withdraw_tainted(p(0), &[]); // Removes seq 0 only.
         let o = n.send(
             p(0),
             p(1),

@@ -17,15 +17,15 @@
 //! }
 //! ```
 
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::collections::BTreeSet;
 
 use crate::cost::{CostModel, SimTime};
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, KernelSnapshot};
 use crate::net::{NetFaultPlan, NetStats, Network, SendOutcome, UNDELIVERED};
 use crate::rng::SplitMix64;
 use crate::script::{InputScript, SignalSchedule};
 use crate::syscalls::{AppStatus, Message, SysError, SysResult, Syscalls, WaitCond};
+use crate::wheel::TimerWheel;
 use ft_core::access::{ShmLog, ShmOp, ShmRecord};
 use ft_core::event::{NdSource, ProcessId};
 use ft_core::trace::{Trace, TraceBuilder};
@@ -110,7 +110,7 @@ enum Status {
     Crashed,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum QEv {
     Ready {
         pid: u32,
@@ -155,7 +155,7 @@ pub struct ProcStats {
 pub struct Simulator {
     cfg: SimConfig,
     now: SimTime,
-    queue: BinaryHeap<Reverse<(SimTime, u64, QEv)>>,
+    queue: TimerWheel<QEv>,
     qseq: u64,
     status: Vec<Status>,
     gen: Vec<u64>,
@@ -167,11 +167,9 @@ pub struct Simulator {
     tracer: TraceBuilder,
     visible_log: Vec<(SimTime, ProcessId, u64)>,
     shm_log: ShmLog,
-    /// Per-process per-destination send counters. Determinism: accessed by
-    /// destination key only (`entry`/`get`); the snapshot/restore pair
-    /// clones the whole map and `withdraw_tainted` reads it keyed while
-    /// iterating the (ordered) channel map — hash order never escapes.
-    send_seqs: Vec<HashMap<u32, u64>>,
+    /// Per-process per-destination send counters, dense rows indexed by
+    /// `ProcessId::index()` (struct-of-arrays: `send_seqs[from][to]`).
+    send_seqs: Vec<Vec<u64>>,
     stats: Vec<ProcStats>,
     rng: SplitMix64,
     nodes_killed: Vec<bool>,
@@ -193,7 +191,7 @@ impl Simulator {
         let n_nodes = cfg.n_nodes();
         let mut sim = Simulator {
             now: 0,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             qseq: 0,
             status: vec![Status::Runnable; n],
             gen: vec![0; n],
@@ -213,7 +211,7 @@ impl Simulator {
             tracer: TraceBuilder::new(n),
             visible_log: Vec::new(),
             shm_log: ShmLog::default(),
-            send_seqs: vec![HashMap::new(); n],
+            send_seqs: vec![vec![0; n]; n],
             stats: vec![ProcStats::default(); n],
             rng: SplitMix64::new(cfg.seed),
             nodes_killed: vec![false; n_nodes],
@@ -228,7 +226,13 @@ impl Simulator {
 
     fn push(&mut self, t: SimTime, ev: QEv) {
         self.qseq += 1;
-        self.queue.push(Reverse((t, self.qseq, ev)));
+        self.queue.push(t, self.qseq, ev);
+    }
+
+    /// Queue operations performed by the event queue so far (see
+    /// [`TimerWheel::ops`]; drives the O(1)-idle-span test).
+    pub fn queue_ops(&self) -> u64 {
+        self.queue.ops()
     }
 
     /// Current simulated time.
@@ -244,11 +248,12 @@ impl Simulator {
     /// Installs a process's signal schedule (also schedules wakeups so
     /// blocked processes see their signals).
     pub fn set_signal_schedule(&mut self, pid: ProcessId, sched: SignalSchedule) {
-        let times: Vec<SimTime> = sched.pending_times().collect();
-        self.signals[pid.index()] = sched;
-        for t in times {
+        // Schedule straight off the incoming value — `sched` is owned by
+        // this call, so no temporary time buffer is needed.
+        for t in sched.pending_times() {
             self.push(t, QEv::Signal { pid: pid.0 });
         }
+        self.signals[pid.index()] = sched;
     }
 
     /// Schedules a stop failure: the process is killed at `t`.
@@ -258,7 +263,7 @@ impl Simulator {
 
     /// Pops the next wake event, advancing simulated time.
     pub fn next_wake(&mut self) -> Option<Wake> {
-        while let Some(Reverse((t, _, ev))) = self.queue.pop() {
+        while let Some((t, _, ev)) = self.queue.pop() {
             self.now = self.now.max(t);
             match ev {
                 QEv::Ready { pid, gen } => {
@@ -508,26 +513,34 @@ impl Simulator {
         self.signals[pid.index()].set_cursor(cursor);
     }
 
-    /// Replaces `pid`'s node kernel with a snapshot (recovery reconstructs
-    /// kernel state, §3) and marks the node rebooted so its processes can
-    /// run again. Only meaningful when the node hosts a single process.
-    pub fn restore_kernel(&mut self, pid: ProcessId, kernel: Kernel) {
+    /// Rolls `pid`'s node kernel back to a snapshot taken from it
+    /// (recovery reconstructs kernel state, §3) and marks the node
+    /// rebooted so its processes can run again. Only meaningful when the
+    /// node hosts a single process.
+    pub fn restore_kernel(&mut self, pid: ProcessId, snap: &KernelSnapshot) {
         let node = self.cfg.node_of[pid.index()];
-        self.kernels[node] = kernel;
+        self.kernels[node].restore(snap);
         // A reboot clears in-memory kernel bugs: a snapshot taken while a
         // fault was armed must not resurrect the fault.
         self.kernels[node].reboot();
         self.nodes_killed[node] = false;
     }
 
-    /// Per-channel send counters (checkpointed by the recovery runtime).
-    pub fn send_seqs(&self, pid: ProcessId) -> HashMap<u32, u64> {
-        self.send_seqs[pid.index()].clone()
+    /// Per-destination send counters, indexed by destination
+    /// (checkpointed by the recovery runtime).
+    pub fn send_seqs(&self, pid: ProcessId) -> &[u64] {
+        &self.send_seqs[pid.index()]
     }
 
-    /// Restores per-channel send counters after rollback.
-    pub fn set_send_seqs(&mut self, pid: ProcessId, seqs: HashMap<u32, u64>) {
-        self.send_seqs[pid.index()] = seqs;
+    /// Restores per-destination send counters after rollback. A snapshot
+    /// shorter than the process table (e.g. the empty initial snapshot)
+    /// means the missing destinations were still at zero.
+    pub fn set_send_seqs(&mut self, pid: ProcessId, seqs: &[u64]) {
+        let row = &mut self.send_seqs[pid.index()];
+        let n = row.len();
+        row.clear();
+        row.extend_from_slice(seqs);
+        row.resize(n, 0);
     }
 
     /// Adds a one-off scheduling delay to another process (used to charge
@@ -553,7 +566,7 @@ impl Simulator {
     /// knowledge from that stamp).
     pub fn record_shm(&mut self, pid: ProcessId, op: ShmOp) {
         let pos = self.tracer.position(pid);
-        self.shm_log.records.push(ShmRecord { pid, pos, op });
+        ft_core::trace::chunked_push(&mut self.shm_log.records, ShmRecord { pid, pos, op });
     }
 
     /// Takes the recorded shared-memory access stream (leaving an empty
@@ -809,9 +822,7 @@ impl<'a> Syscalls for SysCtx<'a> {
         }
         self.count_syscall();
         self.elapsed += self.sim.cfg.cost.send_ns;
-        let seq_entry = self.sim.send_seqs[self.pid.index()]
-            .entry(to.0)
-            .or_insert(0);
+        let seq_entry = &mut self.sim.send_seqs[self.pid.index()][to.index()];
         let seq = *seq_entry;
         *seq_entry += 1;
         let (deps, tainted) = self.send_meta.take().unwrap_or_default();
@@ -865,7 +876,7 @@ impl<'a> Syscalls for SysCtx<'a> {
         self.elapsed += self.sim.cfg.cost.recv_ns;
         let poll = self.now();
         if self.node_kernel().tick_corruption(poll) {
-            self.node_kernel().corrupt_bytes(&mut msg.payload);
+            self.node_kernel().corrupt_bytes(msg.payload.make_mut());
         }
         let logged = std::mem::take(&mut self.log_next);
         if logged {

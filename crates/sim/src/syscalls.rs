@@ -10,6 +10,8 @@
 //! wraps a raw [`Syscalls`] with exactly those interpositions.
 
 use std::collections::BTreeSet;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use ft_core::event::ProcessId;
 use ft_mem::arena::Layout;
@@ -52,6 +54,82 @@ impl std::error::Error for SysError {}
 /// Result alias for syscalls.
 pub type SysResult<T> = Result<T, SysError>;
 
+/// An immutable, reference-counted message payload.
+///
+/// The sender's bytes are copied into a shared buffer once at `send` —
+/// the same single copy the old per-delivery `Vec<u8>` clone paid, moved
+/// to the producer side. The network's buffered copy (sender-side
+/// retention for recovery), every delivery, and every committed
+/// `PendingNd` snapshot then share it: cloning is a refcount bump, never
+/// a byte copy, so broadcasts and snapshots are free. A slice `Arc`
+/// (header and bytes in one allocation) rather than `Arc<Vec<u8>>`, which
+/// would add a second heap block per message. `Arc` (not `Rc`) because
+/// applications are `Send` and trials run on campaign worker threads.
+/// Reads go through `Deref<Target = [u8]>`, so payload slicing and
+/// indexing look exactly like they did when this was a `Vec<u8>`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// Packs the sender's bytes into the shared buffer (the one copy).
+    pub fn new(bytes: Vec<u8>) -> Self {
+        Payload(bytes.into())
+    }
+
+    /// Extracts the bytes into an owned buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+
+    /// Mutable access for the rare in-kernel corruption fault path:
+    /// unshares the buffer first so other holders keep the pristine bytes.
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        if Arc::get_mut(&mut self.0).is_none() {
+            self.0 = Arc::from(&*self.0);
+        }
+        Arc::get_mut(&mut self.0).expect("buffer was just unshared")
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        Payload::new(bytes)
+    }
+}
+
+// Formats like the `Vec<u8>` it replaced, so any Debug-derived output
+// (and therefore any fingerprint over it) is unchanged.
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        **self == **other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        **self == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        **self == **other
+    }
+}
+
 /// A delivered message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
@@ -59,8 +137,8 @@ pub struct Message {
     pub from: ProcessId,
     /// Per-channel sequence number assigned by the sender.
     pub seq: u64,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes (a shared view of the sender's buffer).
+    pub payload: Payload,
     /// Dependency snapshot piggybacked by the sender's recovery runtime
     /// (empty when no runtime is interposed).
     pub deps: BTreeSet<u32>,

@@ -1,0 +1,432 @@
+//! A hierarchical timer wheel: the simulator's event queue.
+//!
+//! Replaces the former `BinaryHeap<Reverse<(SimTime, u64, QEv)>>` with a
+//! radix-on-time wheel in the desim/FoundationDB mold: **idle spans must
+//! cost zero**. Fast-forwarding over an arbitrarily long gap with nothing
+//! scheduled in it costs one occupancy-bitmap scan per level — O(levels),
+//! independent of the span — where a calendar of ticks would cost O(span).
+//!
+//! # Ordering invariant (the tie-break contract)
+//!
+//! [`TimerWheel::pop`] yields entries in exactly the order the
+//! `BinaryHeap<Reverse<(time, seq, _)>>` it replaced did: ascending by
+//! `(time, seq)`, where `seq` is the caller's strictly-increasing push
+//! counter. Same-instant events therefore pop in push order. The property
+//! suite (`tests/wheel_model.rs`) drives both structures through
+//! randomized push/pop/advance scripts and asserts identical pop
+//! sequences, including same-time ties and `u32`/`SimTime` wrap edges.
+//!
+//! # Structure
+//!
+//! Eleven levels of 64 slots index absolute time by 6-bit digits: level
+//! `k`'s slot for time `t` is `(t >> 6k) & 63`, so the levels cover the
+//! full `u64` range and the top levels double as the calendar-queue
+//! fallback for far-future timers — no overflow list is needed. An entry
+//! lives at its *divergence level*: the highest 6-bit digit in which its
+//! time differs from the wheel's current floor. When the floor advances
+//! into a higher-level slot, that slot's entries cascade down one or more
+//! levels (each entry relocates at most once per level over its
+//! lifetime). At level 0 a slot holds exactly one instant, and entries
+//! sit in push (= seq) order: a cascade into a slot always completes
+//! before any direct push lands in it — the floor must first enter the
+//! parent slot, which drains it, and only then can later (higher-seq)
+//! pushes diverge at the child level — and a cascade preserves the source
+//! slot's order, so slot order is seq order by induction.
+//!
+//! Entries pushed for a time **before** the current floor (a replayed
+//! duplicate delivery, for example) go to a small side heap. Every such
+//! entry is strictly earlier than everything in the wheel (the floor only
+//! advances), so draining the side heap first preserves the global order.
+//!
+//! # Representation
+//!
+//! Entries live in a slab (`nodes`) and slots are intrusive FIFO linked
+//! lists of slab indices (head + tail per slot, `next` per node). A
+//! cascade relocates entries by relinking indices — no entry data moves,
+//! no per-slot container allocates — and freed slab indices are recycled
+//! through a free list, so the steady state performs no allocation at
+//! all.
+//!
+//! # Overflow discipline
+//!
+//! All index arithmetic is shift-and-mask on `u64` with shift amounts
+//! bounded by 60, plus ORs of disjoint bit ranges — nothing can wrap, so
+//! debug and release builds behave identically (the PR 2 convention).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Number of 6-bit levels: `ceil(64 / 6)`. Level 10 indexes bits 60..64.
+const LEVELS: usize = 11;
+/// Slots per level.
+const SLOTS: usize = 64;
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+/// Null slab index (list terminator / empty slot).
+const NIL: u32 = u32::MAX;
+
+/// An entry in the past-of-floor side heap, ordered by `(time, seq)` only
+/// (reversed, for min-first) — the payload never participates in
+/// comparisons, so `T` needs no `Ord` bound.
+struct DueEntry<T> {
+    t: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for DueEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl<T> Eq for DueEntry<T> {}
+impl<T> PartialOrd for DueEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for DueEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+/// One slot's FIFO list endpoints (`NIL` = empty).
+#[derive(Clone, Copy)]
+struct Slot {
+    head: u32,
+    tail: u32,
+}
+
+/// A slab node: one queued entry plus its list link. `item` is `Some`
+/// while queued, `None` while the node sits on the free list.
+struct Node<T> {
+    t: u64,
+    seq: u64,
+    next: u32,
+    item: Option<T>,
+}
+
+/// The hierarchical timer wheel. See the module docs for the ordering
+/// invariant and structure.
+pub struct TimerWheel<T> {
+    /// FIFO list head/tail per slot, level-major (`[level * SLOTS +
+    /// slot]`). Head and tail interleave in one 8-byte cell so a slot
+    /// touch costs one cache line, not two.
+    slots: Box<[Slot]>,
+    /// Entry slab; freed indices are recycled via `free`.
+    nodes: Vec<Node<T>>,
+    /// Free-list head into `nodes`.
+    free: u32,
+    /// Per-level occupancy bitmap: bit `s` set iff slot `s` is non-empty.
+    occupied: [u64; LEVELS],
+    /// The wheel's current time: every wheel entry has `t >= floor`.
+    /// Monotone — only `pop` advances it.
+    floor: u64,
+    /// Entries pushed with `t < floor`: strictly earlier than the whole
+    /// wheel, drained first.
+    due: BinaryHeap<DueEntry<T>>,
+    len: usize,
+    /// Queue operations performed (slot placements, cascade relocations,
+    /// and per-pop level scans). The directed idle-span test asserts this
+    /// stays O(levels) per pop regardless of how far the floor jumps.
+    ops: u64,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// Creates an empty wheel at floor 0.
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: vec![
+                Slot {
+                    head: NIL,
+                    tail: NIL
+                };
+                LEVELS * SLOTS
+            ]
+            .into_boxed_slice(),
+            nodes: Vec::new(),
+            free: NIL,
+            occupied: [0; LEVELS],
+            floor: 0,
+            due: BinaryHeap::new(),
+            len: 0,
+            ops: 0,
+        }
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total queue operations so far (see the field docs).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The wheel's current time (the last popped entry's time).
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// The slot index (into `slots`) for a time `t >= floor`: its
+    /// divergence level — the highest 6-bit digit where `t` and the floor
+    /// differ — and `t`'s digit at that level.
+    fn slot_of(&self, t: u64) -> usize {
+        let diff = t ^ self.floor;
+        if diff == 0 {
+            (t & SLOT_MASK) as usize
+        } else {
+            let level = ((63 - diff.leading_zeros()) / 6) as usize;
+            level * SLOTS + ((t >> (6 * level as u32)) & SLOT_MASK) as usize
+        }
+    }
+
+    /// Appends slab node `idx` to its slot's FIFO list.
+    fn place(&mut self, idx: u32) {
+        let t = self.nodes[idx as usize].t;
+        debug_assert!(t >= self.floor);
+        self.ops += 1;
+        let cell = self.slot_of(t);
+        self.nodes[idx as usize].next = NIL;
+        let slot = &mut self.slots[cell];
+        let tail = slot.tail;
+        slot.tail = idx;
+        if tail == NIL {
+            slot.head = idx;
+            self.occupied[cell / SLOTS] |= 1u64 << (cell % SLOTS);
+        } else {
+            self.nodes[tail as usize].next = idx;
+        }
+    }
+
+    /// Pushes an entry. `seq` must be strictly increasing across pushes
+    /// (the caller's global push counter); ties in `t` pop in `seq` order.
+    pub fn push(&mut self, t: u64, seq: u64, item: T) {
+        self.len += 1;
+        if t < self.floor {
+            self.ops += 1;
+            self.due.push(DueEntry { t, seq, item });
+            return;
+        }
+        let idx = if self.free == NIL {
+            self.nodes.push(Node {
+                t,
+                seq,
+                next: NIL,
+                item: Some(item),
+            });
+            (self.nodes.len() - 1) as u32
+        } else {
+            let idx = self.free;
+            let n = &mut self.nodes[idx as usize];
+            self.free = n.next;
+            n.t = t;
+            n.seq = seq;
+            n.item = Some(item);
+            idx
+        };
+        self.place(idx);
+    }
+
+    /// Pops the earliest entry by `(t, seq)`, advancing the floor to its
+    /// time. O(levels) even when the next entry is arbitrarily far in the
+    /// future.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Side-heap entries are strictly earlier than every wheel entry:
+        // they were pushed below a floor that has only grown since.
+        if let Some(e) = self.due.pop() {
+            self.len -= 1;
+            return Some((e.t, e.seq, e.item));
+        }
+        // The lowest occupied level holds the earliest entry: all of its
+        // occupied slots precede every occupied slot of any higher level
+        // (which lies beyond the current lower-level blocks).
+        let mut level = 0;
+        while self.occupied[level] == 0 {
+            level += 1;
+            debug_assert!(
+                level < LEVELS,
+                "len > 0 with an empty side heap implies an occupied level"
+            );
+        }
+        self.ops += 1;
+        let slot = self.occupied[level].trailing_zeros() as usize;
+        let cell = level * SLOTS + slot;
+        if level == 0 {
+            let cell_slot = &mut self.slots[cell];
+            let idx = cell_slot.head;
+            let n = &mut self.nodes[idx as usize];
+            let t = n.t;
+            let seq = n.seq;
+            let item = n.item.take().expect("queued node holds an item");
+            cell_slot.head = n.next;
+            if cell_slot.head == NIL {
+                cell_slot.tail = NIL;
+                self.occupied[0] &= !(1u64 << slot);
+            }
+            n.next = self.free;
+            self.free = idx;
+            debug_assert!(t >= self.floor);
+            self.floor = t;
+            self.len -= 1;
+            return Some((t, seq, item));
+        }
+        // The earliest occupied slot of the lowest occupied level
+        // holds the global minimum: every other level's entries are
+        // provably later (lower levels are empty; a higher level's
+        // entries exceed this one in a more significant digit). Scan
+        // the slot's chain for the minimum `(t, seq)` — the chain is
+        // in seq order, so a strictly-earlier-`t` test suffices — pop
+        // it directly, and re-place only the remaining entries
+        // against the advanced floor. Entries thus relocate at most
+        // once per level over their lifetime (the classic cascade
+        // bound), but the common sparse case — a single entry in the
+        // slot — pops with no relocation at all.
+        let head = self.slots[cell].head;
+        self.slots[cell] = Slot {
+            head: NIL,
+            tail: NIL,
+        };
+        self.occupied[level] &= !(1u64 << slot);
+        let mut min = head;
+        let mut it = self.nodes[head as usize].next;
+        while it != NIL {
+            let n = &self.nodes[it as usize];
+            if n.t < self.nodes[min as usize].t {
+                min = it;
+            }
+            it = n.next;
+        }
+        let n = &mut self.nodes[min as usize];
+        let t = n.t;
+        let seq = n.seq;
+        let item = n.item.take().expect("queued node holds an item");
+        debug_assert!(t >= self.floor);
+        self.floor = t;
+        self.len -= 1;
+        // Re-place the survivors in chain (= seq) order, relative to
+        // the new floor; each diverges from it below `level`, and a
+        // later direct push into the same destination slot carries a
+        // higher seq, so FIFO slot order stays seq order.
+        let mut it = head;
+        while it != NIL {
+            let next = self.nodes[it as usize].next;
+            if it != min {
+                self.place(it);
+            }
+            it = next;
+        }
+        let n = &mut self.nodes[min as usize];
+        n.next = self.free;
+        self.free = min;
+        Some((t, seq, item))
+    }
+}
+
+impl<T> std::fmt::Debug for TimerWheel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerWheel")
+            .field("len", &self.len)
+            .field("floor", &self.floor)
+            .field("ops", &self.ops)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = TimerWheel::new();
+        w.push(50, 1, "b");
+        w.push(10, 2, "a");
+        w.push(50, 3, "c");
+        w.push(u64::MAX, 4, "z");
+        assert_eq!(w.pop(), Some((10, 2, "a")));
+        assert_eq!(w.pop(), Some((50, 1, "b")));
+        assert_eq!(w.pop(), Some((50, 3, "c")));
+        assert_eq!(w.pop(), Some((u64::MAX, 4, "z")));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_pushes_pop_before_wheel_entries() {
+        let mut w = TimerWheel::new();
+        w.push(1000, 1, 1u32);
+        w.push(2000, 2, 2);
+        assert_eq!(w.pop(), Some((1000, 1, 1)));
+        // Floor is now 1000; a replayed event lands in the past.
+        w.push(5, 3, 3);
+        w.push(999, 4, 4);
+        assert_eq!(w.pop(), Some((5, 3, 3)));
+        assert_eq!(w.pop(), Some((999, 4, 4)));
+        assert_eq!(w.pop(), Some((2000, 2, 2)));
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut w = TimerWheel::new();
+        assert_eq!(w.len(), 0);
+        for i in 0..100u64 {
+            w.push(i * 7919, i, i);
+        }
+        assert_eq!(w.len(), 100);
+        let mut prev = None;
+        while let Some((t, _, _)) = w.pop() {
+            if let Some(p) = prev {
+                assert!(t >= p);
+            }
+            prev = Some(t);
+        }
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn slab_nodes_are_recycled() {
+        let mut w = TimerWheel::new();
+        for round in 0..1000u64 {
+            w.push(round * 131, round, round);
+            w.pop().unwrap();
+        }
+        assert!(
+            w.nodes.len() <= 2,
+            "steady-state pop/push must reuse slab nodes, got {}",
+            w.nodes.len()
+        );
+    }
+
+    #[test]
+    fn far_future_pop_is_constant_ops() {
+        // One timer nine orders of magnitude away: the pop must cost a
+        // bounded number of queue operations, not O(span).
+        let mut w = TimerWheel::new();
+        w.push(3, 1, ());
+        assert_eq!(w.pop(), Some((3, 1, ())));
+        let before = w.ops();
+        w.push(3_000_000_000_000, 2, ());
+        assert_eq!(w.pop(), Some((3_000_000_000_000, 2, ())));
+        let cost = w.ops() - before;
+        assert!(
+            cost <= 4 * LEVELS as u64,
+            "idle fast-forward cost {cost} ops; want O(levels)"
+        );
+    }
+}

@@ -139,7 +139,7 @@ impl App for Ponger {
         if let Some(msg) = sys.try_recv() {
             let n = seen.get(&sys.mem().arena)? + 1;
             seen.set(&mut sys.mem().arena, n)?;
-            sys.send(self.peer, msg.payload).expect("send");
+            sys.send(self.peer, msg.payload.into_vec()).expect("send");
             if n >= self.done_after {
                 return Ok(AppStatus::Done);
             }
@@ -352,4 +352,44 @@ fn coordinated_commit_recording_shapes_the_trace() {
         .filter(|e| e.logged && matches!(e.kind, EventKind::Recv { .. }))
         .count();
     assert_eq!(control_recvs, 2, "prepare + ack");
+}
+
+/// Sleeps `spans.len()` times, each for the given duration, then exits.
+struct Napper {
+    spans: Vec<u64>,
+    i: usize,
+}
+
+impl App for Napper {
+    fn step(&mut self, sys: &mut dyn SysMem) -> MemResult<AppStatus> {
+        if self.i < self.spans.len() {
+            sys.compute(self.spans[self.i]);
+            self.i += 1;
+            Ok(AppStatus::Running)
+        } else {
+            Ok(AppStatus::Done)
+        }
+    }
+}
+
+/// Fast-forwarding over an idle span costs O(1) queue operations,
+/// independent of the span's length: a run that sleeps ~39 hours per step
+/// performs exactly as many queue ops as one sleeping 1 ms per step
+/// (entries land on higher wheel levels, not on longer scan paths).
+#[test]
+fn idle_span_queue_cost_is_span_independent() {
+    let ops_for = |span: u64| {
+        let mut sim = Simulator::new(SimConfig::single_node(1, 1));
+        let mut app = Napper {
+            spans: vec![span; 32],
+            i: 0,
+        };
+        let mut mems = vec![Mem::new(app.layout())];
+        drive(&mut sim, &mut [&mut app], &mut mems, |_, _| {});
+        assert!(sim.now() >= 32 * span, "slept through every span");
+        sim.queue_ops()
+    };
+    let short = ops_for(MS);
+    let long = ops_for(1 << 47); // ~39 hours of simulated time per nap
+    assert_eq!(short, long, "queue ops must not scale with idle-span size");
 }

@@ -1,0 +1,114 @@
+//! Model test: [`TimerWheel`] against a binary-heap reference.
+//!
+//! The wheel replaced `BinaryHeap<Reverse<(SimTime, u64, QEv)>>` as the
+//! simulator's event queue, so its observable contract is exactly the
+//! heap's: pops come out in ascending `(time, seq)` order, with same-time
+//! entries ordered by `seq` (which the simulator assigns in push order).
+//! This test drives both structures through identical randomized
+//! push/pop/advance schedules — including same-instant ties, pushes into
+//! the past, u32-boundary times, and near-`u64::MAX` times — and demands
+//! bitwise-identical pop sequences.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ft_sim::wheel::TimerWheel;
+
+/// splitmix64: tiny deterministic RNG, no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Generates a push time around the cursor, spread across the regimes the
+/// simulator produces: dense near-term work, repeated identical instants
+/// (tie-breaks), far-future timeouts, pushes into the past (the wheel's
+/// side heap), and times at the u32 boundary and near `u64::MAX`.
+fn gen_time(rng: &mut Rng, now: u64, last: u64) -> u64 {
+    match rng.next() % 16 {
+        // Dense near-term: the common case, many same-slot collisions.
+        0..=6 => now.saturating_add(rng.next() % 64),
+        // Exact repeat of the previous push time: same-instant tie-break.
+        7..=9 => last,
+        // Mid-range jump within one wheel level.
+        10..=11 => now.saturating_add(rng.next() % 100_000),
+        // Far-future idle span (high wheel levels).
+        12 => now.saturating_add(rng.next() % (1 << 40)),
+        // u32 wrap edge: SimTime is u64 but PR 2's overflow audit calls
+        // out 32-bit boundaries as the place truncation bugs hide.
+        13 => (u32::MAX as u64)
+            .wrapping_add(rng.next() % 8)
+            .wrapping_sub(4),
+        // Near the top of the domain.
+        14 => u64::MAX - rng.next() % 4,
+        // The past (relative to times already popped): side-heap path.
+        _ => now.saturating_sub(rng.next() % 1_000),
+    }
+}
+
+fn run_model(seed: u64, ops: usize) {
+    let mut rng = Rng(seed);
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut now = 0u64; // time of the last pop: the wheel floor
+    let mut last_t = 0u64; // time of the last push: tie-break fodder
+    for _ in 0..ops {
+        let r = rng.next() % 100;
+        if r < 55 || wheel.is_empty() {
+            let t = gen_time(&mut rng, now, last_t);
+            wheel.push(t, seq, seq);
+            heap.push(Reverse((t, seq)));
+            last_t = t;
+            seq += 1;
+        } else {
+            let Reverse(want) = heap.pop().expect("models agree on len");
+            let got = wheel.pop().expect("wheel non-empty when heap is");
+            assert_eq!(got, (want.0, want.1, want.1), "seed {seed}");
+            now = want.0;
+        }
+        assert_eq!(wheel.len(), heap.len(), "seed {seed}");
+    }
+    // Drain: every remaining entry must come out in heap order.
+    while let Some(Reverse(want)) = heap.pop() {
+        let got = wheel.pop().expect("wheel drains with heap");
+        assert_eq!(got, (want.0, want.1, want.1), "seed {seed} (drain)");
+    }
+    assert!(wheel.pop().is_none());
+    assert!(wheel.is_empty());
+}
+
+#[test]
+fn wheel_matches_heap_reference_across_seeds() {
+    for seed in 0..8u64 {
+        run_model(0xA076_1D64_78BD_642F ^ (seed << 17), 10_000);
+    }
+}
+
+/// Same-instant pushes pop strictly in push (seq) order, even when they
+/// arrive interleaved with other instants and across a pop that moves the
+/// wheel floor between them.
+#[test]
+fn same_instant_ties_pop_in_push_order() {
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    // Three batches at the same instant, split around unrelated pushes.
+    for (t, seq) in [(500, 0), (100, 1), (500, 2), (900, 3), (500, 4)] {
+        wheel.push(t, seq, seq);
+    }
+    assert_eq!(wheel.pop(), Some((100, 1, 1)));
+    // Late push at the already-active instant, after the floor moved.
+    wheel.push(500, 5, 5);
+    assert_eq!(wheel.pop(), Some((500, 0, 0)));
+    assert_eq!(wheel.pop(), Some((500, 2, 2)));
+    assert_eq!(wheel.pop(), Some((500, 4, 4)));
+    assert_eq!(wheel.pop(), Some((500, 5, 5)));
+    assert_eq!(wheel.pop(), Some((900, 3, 3)));
+    assert_eq!(wheel.pop(), None);
+}

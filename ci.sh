@@ -70,6 +70,22 @@ cmp BENCH_durable.json durable_rerun/BENCH_durable.json \
 rm -rf durable_rerun
 [[ -s BENCH_durable.json ]] || { echo "ci: missing BENCH_durable.json" >&2; exit 1; }
 
+# KV-workload smoke: the sharded kvstore campaign (open-loop Zipfian
+# sessions over an S x R replicated cluster) under continuous crashes,
+# with the binary's internal serial/sharded equivalence assert and its
+# consistency gate (every cell must be violation-free). The report
+# carries no wall-clock, so two consecutive runs at different thread
+# counts must be byte-identical.
+cargo run --release -q -p ft-bench --bin campaign -- --quick --kv-only --threads 4 --out .
+cargo run --release -q -p ft-bench --bin campaign -- --quick --kv-only --threads 2 --out kv_rerun
+cmp BENCH_kv.json kv_rerun/BENCH_kv.json \
+  || { echo "ci: BENCH_kv.json not deterministic across runs" >&2; exit 1; }
+rm -rf kv_rerun
+[[ -s BENCH_kv.json ]] || { echo "ci: missing BENCH_kv.json" >&2; exit 1; }
+if grep -q '"wall' BENCH_kv.json; then
+  echo "ci: BENCH_kv.json must not carry wall-clock numbers" >&2; exit 1
+fi
+
 # Real-process crashtest smoke: a strided subset of the 254 exported
 # kill -9 schedules on nvi + taskfarm under fsync-per-commit (power-cut
 # and torn-append loss models) plus the three seeded-mutant self-tests,

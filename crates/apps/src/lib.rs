@@ -12,7 +12,10 @@
 //! | [`minidb`]    | postgres   | B-tree storage engine, data-heavy, few syscalls     |
 //!
 //! [`taskfarm`] adds a sixth, lock-based TreadMarks workload (TSP-style
-//! self-scheduling over `ft_dsm::lock`) beyond the paper's five.
+//! self-scheduling over `ft_dsm::lock`) beyond the paper's five, and
+//! [`kvstore`] a seventh far beyond the paper's scale: an N-shard
+//! replicated key-value service driven by an open-loop population of
+//! millions of simulated sessions with [`zipf`]ian key selection.
 //!
 //! Each application embeds `ft-faults` hooks at realistic fault sites
 //! (bounds checks, split guards, initializations, stores), so the §4 fault
@@ -26,13 +29,17 @@ pub mod barnes_hut;
 pub mod cad;
 pub mod editor;
 pub mod game;
+pub mod kvstore;
 pub mod minidb;
 pub mod taskfarm;
 pub mod workload;
+pub mod zipf;
 
 pub use barnes_hut::BarnesHut;
 pub use cad::Cad;
 pub use editor::Editor;
 pub use game::{GameClient, GameServer};
+pub use kvstore::{KvGateway, KvParams, KvPrimary, KvReplica};
 pub use minidb::MiniDb;
 pub use taskfarm::TaskFarm;
+pub use zipf::Zipfian;

@@ -224,7 +224,7 @@ fn canonical_run(cfg: &AvailConfig, widx: usize, protocol: Protocol) -> Canonica
 }
 
 /// The oracle verdict kinds a trial can report.
-fn violation_kind(v: &InvariantViolation) -> &'static str {
+pub(crate) fn violation_kind(v: &InvariantViolation) -> &'static str {
     match v {
         InvariantViolation::SaveWork(_) => "save-work",
         InvariantViolation::Incomplete { .. } => "incomplete",
@@ -335,7 +335,7 @@ pub struct ViolationCounts {
 }
 
 impl ViolationCounts {
-    fn count(&mut self, kind: Option<&'static str>) {
+    pub(crate) fn count(&mut self, kind: Option<&'static str>) {
         let Some(kind) = kind else { return };
         self.total += 1;
         match kind {

@@ -21,6 +21,9 @@
 //!   overhead grid + real log-engine probe; `BENCH_durable.json` carries
 //!   no wall-clock numbers, so CI asserts it byte-identical across two
 //!   runs);
+//! * `--kv-only` — run only the sharded-KV stage (`BENCH_kv.json` also
+//!   carries no wall-clock numbers; the events/sec figure is printed to
+//!   stdout only);
 //! * `--target-crashes C` / `--max-trials M` — Table 1 sizing;
 //! * `--table2-trials T` — Table 2 sizing;
 //! * `--out DIR` — where to write the `BENCH_*.json` files (default `.`).
@@ -40,6 +43,7 @@ use ft_bench::campaign::{
 };
 use ft_bench::durable::{durable_grid, durable_grid_par, engine_probe, probe_json, rows_json};
 use ft_bench::json::Json;
+use ft_bench::kv::{kv_json, render_kv, run_kv, KvConfig};
 use ft_bench::runner::default_threads;
 use ft_bench::scenarios;
 use ft_core::protocol::Protocol;
@@ -49,8 +53,10 @@ struct Args {
     threads: usize,
     cfg: CampaignConfig,
     avail: AvailConfig,
+    kv: KvConfig,
     avail_only: bool,
     durable_only: bool,
+    kv_only: bool,
     quick: bool,
     out: PathBuf,
 }
@@ -60,8 +66,10 @@ fn parse_args() -> Result<Args, String> {
         threads: default_threads(),
         cfg: CampaignConfig::default(),
         avail: AvailConfig::default(),
+        kv: KvConfig::default(),
         avail_only: false,
         durable_only: false,
+        kv_only: false,
         quick: false,
         out: PathBuf::from("."),
     };
@@ -77,10 +85,12 @@ fn parse_args() -> Result<Args, String> {
             "--quick" => {
                 args.cfg = CampaignConfig::quick();
                 args.avail = AvailConfig::quick();
+                args.kv = KvConfig::quick();
                 args.quick = true;
             }
             "--avail-only" => args.avail_only = true,
             "--durable-only" => args.durable_only = true,
+            "--kv-only" => args.kv_only = true,
             "--target-crashes" => {
                 args.cfg.target_crashes = value("--target-crashes")?
                     .parse()
@@ -162,6 +172,80 @@ fn durable_stage(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The sharded-KV stage: the open-loop kvstore campaign, serial reference
+/// vs. sharded (asserted bitwise identical), then `BENCH_kv.json`. The
+/// JSON deliberately carries no wall-clock numbers — CI regenerates it
+/// twice and asserts byte-identity — so the honest throughput figures
+/// (events and simulated requests per second of real wall time) are
+/// printed to stdout only.
+fn kv_stage(args: &Args) -> Result<(), String> {
+    let params = args.kv.params();
+    println!(
+        "kv: {} shards × {} replicas + {} gateways = {} procs, {} open-loop sessions, \
+         {} requests, ~{:.0} crashes/trial",
+        args.kv.shards,
+        args.kv.replication,
+        args.kv.gateways,
+        params.n_processes(),
+        args.kv.sessions,
+        params.total_requests(),
+        args.kv.crashes_per_trial
+    );
+    let t0 = Instant::now();
+    let serial = run_kv(&args.kv, 1);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let sharded = run_kv(&args.kv, args.threads);
+    let sharded_s = t1.elapsed().as_secs_f64();
+    if serial != sharded {
+        return Err(format!(
+            "kv serial/sharded MISMATCH — the sharded campaign diverged from \
+             the serial reference.\nserial:  {serial:?}\nsharded: {sharded:?}"
+        ));
+    }
+    println!(
+        "kv: serial {:.0} ms, sharded {:.0} ms on {} threads — equivalence OK",
+        serial_s * 1e3,
+        sharded_s * 1e3,
+        args.threads
+    );
+    println!(
+        "kv: {} simulated events — {:.0} events/s wall serial, {:.0} events/s wall sharded",
+        serial.total_events,
+        serial.total_events as f64 / serial_s,
+        sharded.total_events as f64 / sharded_s
+    );
+    println!("{}", render_kv(&sharded, &args.kv));
+
+    let path = args.out.join("BENCH_kv.json");
+    std::fs::write(&path, kv_json(&sharded, &args.kv).render_pretty())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("wrote {}\n", path.display());
+
+    // Consistency gate: the real cells must be violation-free, or the
+    // goodput/availability columns are measuring a broken recovery.
+    let flagged: Vec<String> = sharded
+        .rows
+        .iter()
+        .filter(|r| r.violations.total > 0)
+        .map(|r| {
+            format!(
+                "{}/{}/{}",
+                r.medium.name(),
+                r.protocol.name(),
+                r.strategy.name()
+            )
+        })
+        .collect();
+    if !flagged.is_empty() {
+        return Err(format!(
+            "kv consistency gate FAILED — oracle violations in cells: {flagged:?}"
+        ));
+    }
+    println!("kv consistency gate: OK (every cell violation-free)");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -174,6 +258,14 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("campaign: creating {}: {e}", args.out.display());
         return ExitCode::FAILURE;
+    }
+
+    if args.kv_only {
+        if let Err(e) = kv_stage(&args) {
+            eprintln!("campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
     }
 
     if !args.avail_only {
@@ -349,6 +441,13 @@ fn main() -> ExitCode {
     }
     if args.avail.mutants {
         println!("availability oracle self-test: OK (every seeded mutant cell flagged)");
+    }
+
+    if !args.avail_only {
+        if let Err(e) = kv_stage(&args) {
+            eprintln!("campaign: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -2,8 +2,9 @@
 //! perf-regression gate.
 //!
 //! Measures the simulator primitives the PR 8 overhaul targets — event
-//! queue, message fabric, commit snapshotting, and two end-to-end slices
-//! (a plain run and a Discount-Checking run) — in ops/sec, plain
+//! queue, message fabric, commit snapshotting, and three end-to-end
+//! slices (a plain run, a Discount-Checking run, and the sharded
+//! kvstore cluster under Discount Checking) — in ops/sec, plain
 //! wall-clock over batched iterations (best of a few samples, same idiom
 //! as `benches/micro.rs`). Wall-clock readings never feed back into
 //! simulated results; this file is on the CI determinism allowlist.
@@ -224,6 +225,28 @@ fn bench_e2e_dc() -> Measured {
     })
 }
 
+fn bench_e2e_kv() -> Measured {
+    bench("e2e_dc_kvstore_cpvs", 3, || {
+        let params = ft_apps::kvstore::KvParams {
+            shards: 4,
+            replication: 3,
+            gateways: 3,
+            requests_per_gateway: 200,
+            sessions: 20_000,
+            rate_per_session: 5.0,
+            key_space: 1_024,
+            theta: 0.99,
+            put_fraction: 0.5,
+            visible_every: 32,
+            seed: 11,
+        };
+        let (sim, apps) = scenarios::kvstore_cluster(&params).into_parts();
+        let h = DcHarness::new(sim, DcConfig::discount_checking(Protocol::Cpvs), apps);
+        let report = h.run();
+        report.trace.len() as u64
+    })
+}
+
 fn run_benches(mutate_spin: bool) -> Vec<Measured> {
     vec![
         bench_queue_wheel(mutate_spin),
@@ -231,6 +254,7 @@ fn run_benches(mutate_spin: bool) -> Vec<Measured> {
         bench_net(),
         bench_e2e_plain(),
         bench_e2e_dc(),
+        bench_e2e_kv(),
     ]
 }
 

@@ -41,6 +41,7 @@ pub mod durable;
 pub mod fig8;
 pub mod fingerprint;
 pub mod json;
+pub mod kv;
 pub mod loss;
 pub mod report;
 pub mod runner;

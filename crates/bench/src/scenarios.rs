@@ -163,6 +163,33 @@ pub fn treadmarks_fused(seed: u64, iterations: u64) -> Built {
     built(sim, barnes_hut::cluster_fused(iterations, 50))
 }
 
+/// A kvstore cluster from explicit parameters: `shards × replication`
+/// servers plus gateways, one node each (servers crash independently).
+pub fn kvstore_cluster(params: &ft_apps::kvstore::KvParams) -> Built {
+    let sim = Simulator::new(SimConfig::one_node_each(params.n_processes(), params.seed));
+    built(sim, ft_apps::kvstore::cluster(params))
+}
+
+/// The small kvstore shape (2 shards × 2 replicas + 2 gateways) for
+/// smokes and golden fixtures.
+pub fn kvstore_small(seed: u64) -> Built {
+    kvstore_cluster(&ft_apps::kvstore::KvParams::small(seed))
+}
+
+/// The tiny kvstore shape for `ft-check`'s exhaustive crash sweeps:
+/// 2 shards × 2 replicas, one gateway, `requests` put-heavy requests.
+pub fn kvstore_check(seed: u64, requests: u64) -> Built {
+    kvstore_cluster(&ft_apps::kvstore::KvParams::check(requests, seed))
+}
+
+/// The [`kvstore_check`] shape with the skip-replica-reinstall recovery
+/// bug armed on every replica (the seeded mutant `ft-check` must catch).
+pub fn kvstore_check_mutant(seed: u64, requests: u64) -> Built {
+    let params = ft_apps::kvstore::KvParams::check(requests, seed);
+    let sim = Simulator::new(SimConfig::one_node_each(params.n_processes(), params.seed));
+    built(sim, ft_apps::kvstore::cluster_mutant(&params))
+}
+
 /// The postgres session: `requests` database requests at 50 ms spacing
 /// (compute-heavy, syscall-light — the Table 2 contrast with nvi).
 pub fn postgres(seed: u64, requests: usize) -> Built {

@@ -193,3 +193,71 @@ fn fig8_fixture_covers_the_full_workload_by_protocol_matrix() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// The kvstore fingerprints: the sharded KV workload, pinned at two
+// cluster shapes under the two protocols the kv campaign sweeps.
+
+const KV_FIXTURE: &str = include_str!("fixtures/golden_kv_hashes.txt");
+
+/// The medium kvstore shape: big enough that every shard sees replicated
+/// puts from several gateways, small enough for a sub-second run.
+fn kvstore_medium(seed: u64) -> Built {
+    scenarios::kvstore_cluster(&ft_apps::kvstore::KvParams {
+        shards: 4,
+        replication: 3,
+        gateways: 3,
+        requests_per_gateway: 120,
+        sessions: 20_000,
+        rate_per_session: 5.0,
+        key_space: 1_024,
+        theta: 0.99,
+        put_fraction: 0.5,
+        visible_every: 32,
+        seed,
+    })
+}
+
+fn kv_workloads() -> Vec<Workload> {
+    vec![
+        ("kv-small", || scenarios::kvstore_small(7)),
+        ("kv-medium", || kvstore_medium(7)),
+    ]
+}
+
+#[test]
+fn kvstore_traces_match_the_golden_fixture() {
+    let golden = parse_fixture_from(KV_FIXTURE);
+    let mut measured = Vec::new();
+    for (name, build) in kv_workloads() {
+        for protocol in [Protocol::Cpvs, Protocol::Cbndv2pc] {
+            measured.push((format!("{name}@{protocol}"), measure_with(build, protocol)));
+        }
+    }
+    let render = |rows: &[(String, u64)]| {
+        rows.iter()
+            .map(|(n, h)| format!("{n} 0x{h:016x}\n"))
+            .collect::<String>()
+    };
+    assert_eq!(
+        golden,
+        measured,
+        "golden kvstore fingerprints diverged.\nmeasured:\n{}",
+        render(&measured)
+    );
+}
+
+#[test]
+fn kv_fixture_covers_both_shapes_under_both_protocols() {
+    let names: Vec<String> = parse_fixture_from(KV_FIXTURE)
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+    assert_eq!(names.len(), 4);
+    for w in ["kv-small", "kv-medium"] {
+        for p in [Protocol::Cpvs, Protocol::Cbndv2pc] {
+            let key = format!("{w}@{p}");
+            assert!(names.contains(&key), "fixture is missing {key}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The kv campaign under the parallel runner's headline contract: the
+//! rows, aggregate counters, and rendered JSON produced at 2, 4 and 7
+//! worker threads are **bitwise identical** to the serial reference.
+//! Cells are sharded across workers, so this holds only because every
+//! trial derives its arrival/victim streams by O(1) seed splitting
+//! rather than by consuming a shared sequential RNG.
+
+use ft_bench::kv::{kv_json, run_kv, KvConfig};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// A quick-size config, trimmed further so the whole matrix runs in a
+/// few seconds per thread count.
+fn cfg() -> KvConfig {
+    let mut cfg = KvConfig::quick();
+    cfg.requests_per_gateway = 60;
+    cfg.sessions = 5_000;
+    cfg
+}
+
+#[test]
+fn kv_campaign_rows_are_identical_across_thread_counts() {
+    let cfg = cfg();
+    let serial = run_kv(&cfg, 1);
+    assert!(
+        serial.rows.iter().all(|r| r.violations.total == 0),
+        "reference run must be violation-free"
+    );
+    for threads in THREAD_COUNTS {
+        let sharded = run_kv(&cfg, threads);
+        assert_eq!(sharded, serial, "{threads} threads diverged from serial");
+    }
+}
+
+/// The rendered report — the exact bytes the campaign binary writes to
+/// `BENCH_kv.json` — is identical too, so the committed artifact can be
+/// regenerated at any thread count.
+#[test]
+fn kv_json_bytes_are_identical_across_thread_counts() {
+    let cfg = cfg();
+    let serial = kv_json(&run_kv(&cfg, 1), &cfg).render_pretty();
+    for threads in [2usize, 7] {
+        let sharded = kv_json(&run_kv(&cfg, threads), &cfg).render_pretty();
+        assert_eq!(sharded, serial, "{threads} threads: JSON bytes diverged");
+    }
+}

@@ -159,7 +159,7 @@ fn main() -> ExitCode {
         return export_schedules(dir);
     }
 
-    let (nvi_size, farm_size) = if args.smoke { (2, 1) } else { (4, 2) };
+    let (nvi_size, farm_size, kv_size) = if args.smoke { (2, 1, 2) } else { (4, 2, 3) };
     let workloads = [
         Workload {
             name: "nvi",
@@ -170,6 +170,11 @@ fn main() -> ExitCode {
             name: "taskfarm",
             seed: 7,
             size: farm_size,
+        },
+        Workload {
+            name: "kvstore",
+            seed: 7,
+            size: kv_size,
         },
     ];
 

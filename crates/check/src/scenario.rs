@@ -14,19 +14,29 @@ use ft_dc::{CommitKill, DcConfig};
 /// A rebuildable workload: scenario family + seed + size knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Workload {
-    /// Scenario family: `"nvi"`, `"taskfarm"`, `"treadmarks"`, or
-    /// `"xpilot"`.
+    /// Scenario family: `"nvi"`, `"taskfarm"`, `"treadmarks"`,
+    /// `"xpilot"`, `"kvstore"`, or `"kvstore-skiprepl"` (the seeded
+    /// skip-replica-reinstall mutant).
     pub name: &'static str,
     /// Deterministic seed for all scripted inputs.
     pub seed: u64,
     /// Family-specific size (nvi keys, taskfarm workers, treadmarks
-    /// iterations, xpilot frames). The shrinker lowers this.
+    /// iterations, xpilot frames, kvstore requests). The shrinker lowers
+    /// this.
     pub size: usize,
 }
 
 impl Workload {
-    /// The four checkable scenario families.
-    pub const FAMILIES: [&'static str; 4] = ["nvi", "taskfarm", "treadmarks", "xpilot"];
+    /// The checkable scenario families (`kvstore-skiprepl` is the seeded
+    /// recovery mutant the sweep self-test must flag).
+    pub const FAMILIES: [&'static str; 6] = [
+        "nvi",
+        "taskfarm",
+        "treadmarks",
+        "xpilot",
+        "kvstore",
+        "kvstore-skiprepl",
+    ];
 
     /// Builds the scenario at an explicit size (the shrinker's entry
     /// point; use `self.size` for the configured size).
@@ -36,6 +46,8 @@ impl Workload {
             "taskfarm" => scenarios::taskfarm(self.seed, size as u32),
             "treadmarks" => scenarios::treadmarks(self.seed, size as u64),
             "xpilot" => scenarios::xpilot(self.seed, size as u64),
+            "kvstore" => scenarios::kvstore_check(self.seed, size as u64),
+            "kvstore-skiprepl" => scenarios::kvstore_check_mutant(self.seed, size as u64),
             other => panic!("unknown workload family {other:?}"),
         }
     }

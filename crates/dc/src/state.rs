@@ -140,11 +140,13 @@ pub struct CommittedState {
     pub input_cursor: usize,
     /// Signal-schedule position.
     pub signal_cursor: usize,
-    /// Per-channel send counters, dense by destination index (empty means
-    /// all zeros — no message had been sent yet at snapshot time).
-    pub send_seqs: Vec<u64>,
-    /// Per-sender consumed-message counts, dense by sender index.
-    pub consumed: Vec<usize>,
+    /// Per-channel send counters, a sparse `(dest, count)` list sorted by
+    /// destination (absent destinations were at zero — in particular the
+    /// empty list is the no-sends-yet initial snapshot). Sparse so a
+    /// 10⁴-process cluster's snapshots stay O(peers) per process.
+    pub send_seqs: Vec<(u32, u64)>,
+    /// Per-sender consumed-message counts, sparse and sender-sorted.
+    pub consumed: Vec<(u32, usize)>,
     /// Kernel state snapshot — file names and lengths, not bytes
     /// (reconstructed on recovery by append-only truncation, §3).
     pub kernel: KernelSnapshot,

@@ -32,16 +32,21 @@
 //! Finally, [`arrivals`] generates *sustained* fault processes for the
 //! availability campaign: seeded Poisson crash arrivals (deterministic,
 //! O(1)-splittable per trial) and the bounded retry/backoff
-//! [`EscalationPolicy`] for microreboot recovery.
+//! [`EscalationPolicy`] for microreboot recovery — and [`population`]
+//! scales the same machinery to workload traffic, merging millions of
+//! open-loop client sessions into one O(1)-random-accessible Poisson
+//! arrival stream for the kvstore campaign.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrivals;
 pub mod crash;
+pub mod population;
 
 pub use arrivals::{EscalationPolicy, ExpSampler, PoissonArrivals};
 pub use crash::CrashPoint;
+pub use population::OpenLoopPopulation;
 
 use ft_core::event::ProcessId;
 use ft_mem::arena::Region;

@@ -559,10 +559,12 @@ impl Network {
             .min()
     }
 
-    /// Snapshot of `to`'s per-sender consumption counts, dense by sender
-    /// index (taken at commit time by the recovery runtime). Senders past
-    /// the end of the returned vector have consumed count 0.
-    pub fn consumed_counts(&self, to: ProcessId) -> Vec<usize> {
+    /// Snapshot of `to`'s per-sender consumption counts as a sparse
+    /// `(sender, count)` list sorted by sender (taken at commit time by
+    /// the recovery runtime). Senders absent from the list have consumed
+    /// count 0. Sparse, like the simulator's send counters, so snapshot
+    /// size is O(peers), not O(processes) — the 10⁴-process budget.
+    pub fn consumed_counts(&self, to: ProcessId) -> Vec<(u32, usize)> {
         let mut out = Vec::new();
         self.consumed_counts_into(to, &mut out);
         out
@@ -570,39 +572,38 @@ impl Network {
 
     /// As [`Network::consumed_counts`], but reusing the caller's buffer —
     /// the commit hot path recycles the previous snapshot's allocation.
-    pub fn consumed_counts_into(&self, to: ProcessId, out: &mut Vec<usize>) {
+    pub fn consumed_counts_into(&self, to: ProcessId, out: &mut Vec<(u32, usize)>) {
         out.clear();
         let Some(row) = self.rows.get(to.index()) else {
             return;
         };
-        if let Some(&max) = row.senders.last() {
-            out.resize(max as usize + 1, 0);
-            for (&from, ch) in row.senders.iter().zip(&row.chans) {
-                out[from as usize] = ch.cursor;
+        for (&from, ch) in row.senders.iter().zip(&row.chans) {
+            if ch.cursor > 0 {
+                out.push((from, ch.cursor));
             }
         }
     }
 
-    /// Rewinds `to`'s delivery cursors to a committed snapshot (dense by
-    /// sender index, as produced by [`Network::consumed_counts`]):
+    /// Rewinds `to`'s delivery cursors to a committed snapshot (a sparse
+    /// sender-sorted list, as produced by [`Network::consumed_counts`]):
     /// messages consumed after the snapshot will be re-delivered.
-    pub fn rewind_receiver(&mut self, to: ProcessId, counts: &[usize]) {
+    pub fn rewind_receiver(&mut self, to: ProcessId, counts: &[(u32, usize)]) {
         let Some(row) = self.rows.get_mut(to.index()) else {
             return;
         };
         for (&from, ch) in row.senders.iter().zip(row.chans.iter_mut()) {
-            ch.cursor = counts
-                .get(from as usize)
-                .copied()
-                .unwrap_or(0)
-                .min(ch.msgs.len());
+            let count = counts
+                .binary_search_by_key(&from, |e| e.0)
+                .map(|i| counts[i].1)
+                .unwrap_or(0);
+            ch.cursor = count.min(ch.msgs.len());
         }
     }
 
     /// Withdraws tainted messages `from` sent at-or-after the given
-    /// per-channel sequence floor (its committed send counts, dense by
-    /// destination index): the sender rolled back past them and may not
-    /// regenerate them. Untainted messages beyond the floor are kept —
+    /// per-channel sequence floor (its committed send counts, a sparse
+    /// destination-sorted list): the sender rolled back past them and may
+    /// not regenerate them. Untainted messages beyond the floor are kept —
     /// the sender's replay is deterministic up to them and dedup will
     /// match the re-sends.
     ///
@@ -611,7 +612,7 @@ impl Network {
     pub fn withdraw_tainted(
         &mut self,
         from: ProcessId,
-        committed_send_counts: &[u64],
+        committed_send_counts: &[(u32, u64)],
     ) -> Vec<ProcessId> {
         let mut cascade = Vec::new();
         // Ascending-receiver iteration preserves the old (from, to)
@@ -620,7 +621,10 @@ impl Network {
             let Some(ch) = row.get_mut(from.0) else {
                 continue;
             };
-            let floor = committed_send_counts.get(to as usize).copied().unwrap_or(0);
+            let floor = committed_send_counts
+                .binary_search_by_key(&to, |e| e.0)
+                .map(|i| committed_send_counts[i].1)
+                .unwrap_or(0);
             let mut kept = Vec::with_capacity(ch.msgs.len());
             let mut removed_consumed = false;
             for (i, m) in ch.msgs.drain(..).enumerate() {
@@ -817,8 +821,8 @@ mod tests {
             0,
             mid(2),
         );
-        // Dense by receiver index: receiver 1 has committed-send floor 1.
-        let cascade = n.withdraw_tainted(p(0), &[0, 1]);
+        // Sparse by receiver: receiver 1 has committed-send floor 1.
+        let cascade = n.withdraw_tainted(p(0), &[(1, 1)]);
         assert!(cascade.is_empty(), "nothing consumed yet");
         let ch = n.channel(p(0), p(1)).unwrap();
         assert_eq!(ch.messages().len(), 2);
@@ -852,7 +856,7 @@ mod tests {
         n.send(p(2), p(1), 0, vec![], Default::default(), false, 0, mid(1));
         n.try_recv(p(1), 10).unwrap();
         let counts = n.consumed_counts(p(1));
-        let total: usize = counts.iter().sum();
+        let total: usize = counts.iter().map(|e| e.1).sum();
         assert_eq!(total, 1);
     }
 

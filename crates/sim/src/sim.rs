@@ -168,8 +168,12 @@ pub struct Simulator {
     visible_log: Vec<(SimTime, ProcessId, u64)>,
     shm_log: ShmLog,
     /// Per-process per-destination send counters, dense rows indexed by
-    /// `ProcessId::index()` (struct-of-arrays: `send_seqs[from][to]`).
-    send_seqs: Vec<Vec<u64>>,
+    /// `ProcessId::index()`, each row a sparse `(dest, count)` list sorted
+    /// by destination. Dense `n × n` rows cost O(n²) memory (≈800 MB of
+    /// counters alone at 10⁴ processes); real topologies are sparse — a
+    /// kvstore gateway talks to S primaries, a primary to R−1 replicas —
+    /// so memory is O(communication edges) instead.
+    send_seqs: Vec<Vec<(u32, u64)>>,
     stats: Vec<ProcStats>,
     rng: SplitMix64,
     nodes_killed: Vec<bool>,
@@ -211,7 +215,7 @@ impl Simulator {
             tracer: TraceBuilder::new(n),
             visible_log: Vec::new(),
             shm_log: ShmLog::default(),
-            send_seqs: vec![vec![0; n]; n],
+            send_seqs: vec![Vec::new(); n],
             stats: vec![ProcStats::default(); n],
             rng: SplitMix64::new(cfg.seed),
             nodes_killed: vec![false; n_nodes],
@@ -526,21 +530,20 @@ impl Simulator {
         self.nodes_killed[node] = false;
     }
 
-    /// Per-destination send counters, indexed by destination
-    /// (checkpointed by the recovery runtime).
-    pub fn send_seqs(&self, pid: ProcessId) -> &[u64] {
+    /// Per-destination send counters as a sparse `(dest, count)` list
+    /// sorted by destination (checkpointed by the recovery runtime).
+    /// Destinations absent from the list have count 0.
+    pub fn send_seqs(&self, pid: ProcessId) -> &[(u32, u64)] {
         &self.send_seqs[pid.index()]
     }
 
-    /// Restores per-destination send counters after rollback. A snapshot
-    /// shorter than the process table (e.g. the empty initial snapshot)
-    /// means the missing destinations were still at zero.
-    pub fn set_send_seqs(&mut self, pid: ProcessId, seqs: &[u64]) {
+    /// Restores per-destination send counters after rollback. Destinations
+    /// absent from the snapshot (e.g. the whole empty initial snapshot)
+    /// were still at zero.
+    pub fn set_send_seqs(&mut self, pid: ProcessId, seqs: &[(u32, u64)]) {
         let row = &mut self.send_seqs[pid.index()];
-        let n = row.len();
         row.clear();
         row.extend_from_slice(seqs);
-        row.resize(n, 0);
     }
 
     /// Adds a one-off scheduling delay to another process (used to charge
@@ -822,9 +825,18 @@ impl<'a> Syscalls for SysCtx<'a> {
         }
         self.count_syscall();
         self.elapsed += self.sim.cfg.cost.send_ns;
-        let seq_entry = &mut self.sim.send_seqs[self.pid.index()][to.index()];
-        let seq = *seq_entry;
-        *seq_entry += 1;
+        let row = &mut self.sim.send_seqs[self.pid.index()];
+        let seq = match row.binary_search_by_key(&to.0, |e| e.0) {
+            Ok(i) => {
+                let s = row[i].1;
+                row[i].1 += 1;
+                s
+            }
+            Err(i) => {
+                row.insert(i, (to.0, 1));
+                0
+            }
+        };
         let (deps, tainted) = self.send_meta.take().unwrap_or_default();
         let sent_at = self.now();
         let latency = self.sim.cfg.cost.net_delivery_ns(payload.len());

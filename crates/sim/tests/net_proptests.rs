@@ -118,8 +118,7 @@ fn withdrawal_matches_model() {
         for _ in 0..consumed {
             net.try_recv(to, 10).unwrap();
         }
-        let mut counts = vec![0u64; to.index() + 1];
-        counts[to.index()] = floor;
+        let counts = [(to.0, floor)];
         let cascade = net.withdraw_tainted(from, &counts);
         // Model: which messages survive.
         let kept: Vec<usize> = (0..msgs.len())

@@ -8,18 +8,32 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 
-# Determinism lint: the simulation must stay a pure function of its seed.
-# Wall-clock reads and OS randomness are banned workspace-wide except in
-# the explicitly allowlisted campaign drivers (which report timings but
-# never feed them back into simulated results).
-determinism_violations=$(grep -rn --include='*.rs' -E 'SystemTime|Instant::now|thread_rng' \
-    crates/ src/ examples/ tests/ 2>/dev/null \
-  | grep -vF -f ci/determinism_allowlist.txt || true)
-if [[ -n "$determinism_violations" ]]; then
-  echo "ci: determinism lint: wall-clock/OS-randomness outside the allowlist:" >&2
-  echo "$determinism_violations" >&2
+# Determinism & recovery-safety lint: ft-lint (crates/lint) supersedes
+# the old grep scan — lexer-accurate wall-clock detection plus the
+# unordered-iteration / panic-in-recovery / unchecked-arith-in-decode /
+# float-in-fingerprint rules, scoped by a call-approximation graph.
+# ci/determinism_allowlist.txt is tombstoned: its driver entries live in
+# crates/lint/src/scope.rs and everything else is an inline
+# `// ft-lint: allow(<rule>): <reason>` at the offending line.
+if [[ -e ci/determinism_allowlist.txt ]]; then
+  echo "ci: ci/determinism_allowlist.txt is tombstoned; put drivers in crates/lint/src/scope.rs" >&2
   exit 1
 fi
+# Self-test first: every seeded mutant must trip its own rule, proving
+# the gate can actually fail (same pattern as the perf gate's spin).
+for rule in wall-clock unordered-iteration panic-in-recovery \
+            unchecked-arith-in-decode float-in-fingerprint unused-suppression; do
+  if cargo run --release -q -p ft-lint --bin ft-lint -- --mutate "$rule" >/dev/null 2>&1; then
+    echo "ci: ft-lint self-test failed: seeded $rule violation was not caught" >&2
+    exit 1
+  fi
+done
+# The real run must be clean, and its report byte-identical across runs.
+cargo run --release -q -p ft-lint --bin ft-lint -- --out BENCH_lint.json
+cargo run --release -q -p ft-lint --bin ft-lint -- --out BENCH_lint.rerun.json >/dev/null
+cmp BENCH_lint.json BENCH_lint.rerun.json \
+  || { echo "ci: BENCH_lint.json not deterministic across runs" >&2; exit 1; }
+rm -f BENCH_lint.rerun.json
 
 # Perf-regression gate: the hot-path micro-benches must stay within
 # SLOWDOWN_TOLERANCE of the committed baseline (generous: catches gross

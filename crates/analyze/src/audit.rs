@@ -77,7 +77,7 @@ fn audit_rules(trace: &Trace, visible_rule: bool, orphan_rule: bool) -> Vec<Save
     // is process-major scan order — deterministic).
     let mut groups: Vec<(u64, Vec<EventId>)> = Vec::new();
     for p in 0..n_procs {
-        let pid = ProcessId(p as u32);
+        let pid = ProcessId::from_index(p);
         for e in trace.process(pid) {
             if e.is_effectively_nd() {
                 nds[p].push(e.id.seq);
@@ -96,7 +96,7 @@ fn audit_rules(trace: &Trace, visible_rule: bool, orphan_rule: bool) -> Vec<Save
 
     let mut findings = Vec::new();
     for q in 0..n_procs {
-        let qid = ProcessId(q as u32);
+        let qid = ProcessId::from_index(q);
         for e in trace.process(qid) {
             let rule = match e.kind {
                 EventKind::Visible { .. } if visible_rule => SaveWorkRule::Visible,
@@ -104,7 +104,7 @@ fn audit_rules(trace: &Trace, visible_rule: bool, orphan_rule: bool) -> Vec<Save
                 _ => continue,
             };
             for (p, p_nds) in nds.iter().enumerate() {
-                let pid = ProcessId(p as u32);
+                let pid = ProcessId::from_index(p);
                 if p == q && rule == SaveWorkRule::Orphan {
                     // "Atomic with": a commit target covers its own
                     // process's preceding non-determinism.

@@ -106,6 +106,10 @@ const SEED: u64 = 7;
 /// Builds and runs one cell, returning its analysis. A pure function of
 /// the cell (fresh simulator every call), so the serial and sharded
 /// sweeps share it verbatim.
+#[expect(
+    clippy::cast_possible_truncation,
+    reason = "sweep cell sizes are small grid constants"
+)]
 fn run_cell(cell: &Cell) -> AnalysisReport {
     let built = match cell.workload {
         "nvi" => scenarios::nvi(SEED, cell.size as usize),

@@ -109,11 +109,12 @@ pub fn detect(stream: &AccessStream, clocks: &ClockIndex) -> Vec<HbRace> {
     let mut seen: BTreeSet<(SiteKey, SiteKey)> = BTreeSet::new();
     let mut races = Vec::new();
     let n_procs = stream.n_procs;
+    let page = u32::try_from(DSM_PAGE).expect("the DSM page size fits u32");
     for cur in &stream.accesses {
         for byte in cur.off..cur.off + cur.len {
-            let page_no = byte / DSM_PAGE as u32;
+            let page_no = byte / page;
             let shadow = pages.entry(page_no).or_insert_with(PageShadow::new);
-            let cell = &mut shadow.bytes[(byte % DSM_PAGE as u32) as usize];
+            let cell = &mut shadow.bytes[(byte % page) as usize];
             // Check the stored last write against the current access.
             if cell.write != NO_WRITE {
                 check_pair(
@@ -132,7 +133,7 @@ pub fn detect(stream: &AccessStream, clocks: &ClockIndex) -> Vec<HbRace> {
                     }
                     ReadShadow::Many(per_proc) => {
                         for (p, &idx) in per_proc.iter().enumerate() {
-                            if idx != NO_WRITE && ProcessId(p as u32) != cur.pid {
+                            if idx != NO_WRITE && ProcessId::from_index(p) != cur.pid {
                                 check_pair(
                                     stream, clocks, idx, cur, page_no, &mut seen, &mut races,
                                 );

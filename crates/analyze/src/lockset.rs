@@ -107,11 +107,12 @@ pub fn detect(stream: &mut AccessStream, _clocks: &ClockIndex) -> Vec<LocksetVio
     // The borrow checker vs. interning into `stream.locksets` while
     // iterating `stream.accesses`: iterate a snapshot of the accesses.
     let accesses: Vec<Access> = stream.accesses.clone();
+    let page_bytes = u32::try_from(DSM_PAGE).expect("the DSM page size fits u32");
     for cur in &accesses {
         for byte in cur.off..cur.off + cur.len {
-            let page_no = byte / DSM_PAGE as u32;
+            let page_no = byte / page_bytes;
             let page = pages.entry(page_no).or_insert_with(PageState::new);
-            let cell = &mut page.bytes[(byte % DSM_PAGE as u32) as usize];
+            let cell = &mut page.bytes[(byte % page_bytes) as usize];
             if cur.round > cell.round {
                 // Barrier crossing: the discipline restarts.
                 *cell = ByteState::fresh();

@@ -49,7 +49,7 @@ impl LocksetTable {
         if let Some(&id) = self.by_set.get(set) {
             return LocksetId(id);
         }
-        let id = self.sets.len() as u32;
+        let id = u32::try_from(self.sets.len()).expect("interned lockset count fits u32");
         self.sets.push(set.to_vec());
         self.by_set.insert(set.to_vec(), id);
         LocksetId(id)
@@ -128,7 +128,7 @@ pub fn normalize(log: &ShmLog, n_procs: usize) -> AccessStream {
         match rec.op {
             ShmOp::Read { off, len } | ShmOp::Write { off, len } => {
                 accesses.push(Access {
-                    idx: accesses.len() as u32,
+                    idx: u32::try_from(accesses.len()).expect("access count fits u32"),
                     pid: rec.pid,
                     pos: rec.pos,
                     is_write: matches!(rec.op, ShmOp::Write { .. }),
@@ -190,7 +190,7 @@ impl<'a> ClockIndex<'a> {
         }
         self.trace
             .process(pid)
-            .get(pos as usize - 1)
+            .get(usize::try_from(pos).ok()? - 1)
             .map(|e| &e.clock)
     }
 

@@ -3,6 +3,11 @@
 //! with the production Save-work checker — at reduced sizes for
 //! debug-mode speed (the `analyze` binary runs the golden sizes).
 
+// Test inputs are tiny by construction (seed counts, page numbers,
+// probe offsets), so index-type narrowing cannot truncate here; the
+// production decode paths stay under the per-site cast audit.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use ft_analyze::report::{analyze, AnalysisReport};
 use ft_bench::runner::run_indexed;
 use ft_bench::scenarios::{self, Built};

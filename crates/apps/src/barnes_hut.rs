@@ -459,6 +459,11 @@ impl App for BarnesHut {
 }
 
 /// The progress-line token.
+#[expect(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    reason = "the energy is quantized to 1e-6 and bit-folded modulo 2^32 into the token on purpose"
+)]
 pub fn progress_token(node: u32, iter: u64, energy: f64) -> u64 {
     // Quantize the energy so the token is robust to last-ulp noise.
     let q = (energy * 1e6).round() as i64;

@@ -194,6 +194,11 @@ impl Cad {
 
     /// Design-rule check: counts adjacency violations (wire touching box
     /// material diagonally, in this toy rule set).
+    #[expect(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        reason = "the scan covers interior cells only, so neighbor offsets stay inside [0, GRID)"
+    )]
     fn drc(&self, sys: &mut dyn SysMem) -> MemResult<u64> {
         let grid = self.grid(sys.mem())?;
         let cells = grid.to_vec(&sys.mem().arena)?;
@@ -337,6 +342,10 @@ impl App for Cad {
                 sys.mem().check_integrity()?;
                 let grid = self.grid(sys.mem())?;
                 let bytes = grid.to_vec(&sys.mem().arena)?;
+                #[expect(
+                    clippy::cast_possible_truncation,
+                    reason = "the fd was a u32 when stored in its u64 arena cell"
+                )]
                 let fd = G_FD.get(&sys.mem().arena)? as u32;
                 sys.write_file(fd, &bytes)
                     .map_err(|_| MemFault::InvariantViolated { check: 5 })?;

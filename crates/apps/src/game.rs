@@ -13,6 +13,11 @@
 //! the time the session took. A recovery protocol that makes per-frame
 //! work exceed the 66.7 ms budget shows up directly as a lower rate.
 
+// Guest state lives in u64 arena cells; reads narrow values back to the
+// width they had when stored (slots, cursors, fds, single key bytes).
+// Every cast below is that round-trip, audited with the PR 10 cast sweep.
+#![allow(clippy::cast_possible_truncation)]
+
 use ft_core::event::ProcessId;
 use ft_mem::arena::Layout;
 use ft_mem::error::{MemFault, MemResult};
@@ -318,7 +323,7 @@ pub fn session_with(clients: usize, frames: u64) -> Vec<Box<dyn App>> {
     let ships = clients + 1;
     assert!(ships <= MAX_SHIPS, "world region overflows into bullets");
     let mut apps: Vec<Box<dyn App>> = vec![Box::new(GameServer {
-        clients: (1..=clients).map(|p| ProcessId(p as u32)).collect(),
+        clients: (1..=clients).map(ProcessId::from_index).collect(),
         frames,
     })];
     for slot in 1..=clients {

@@ -52,6 +52,11 @@
 //! [`ExpSampler`]: ft_faults::arrivals::ExpSampler
 //! [`SplitMix64::nth`]: ft_sim::rng::SplitMix64::nth
 
+// Guest state lives in u64 arena cells; reads narrow values back to the
+// width they had when stored (slots, cursors, fds, single key bytes).
+// Every cast below is that round-trip, audited with the PR 10 cast sweep.
+#![allow(clippy::cast_possible_truncation)]
+
 use ft_core::event::ProcessId;
 use ft_faults::population::OpenLoopPopulation;
 use ft_mem::arena::Layout;

@@ -120,6 +120,10 @@ impl TaskFarm {
         cs
     }
 
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "task ids are < N_TASKS, a small compile-time constant"
+    )]
     fn checksum(dsm: &Dsm, sys: &mut dyn SysMem) -> MemResult<u64> {
         let mut cs = 0u64;
         for t in 0..N_TASKS {
@@ -190,6 +194,10 @@ impl App for TaskFarm {
                     let _peek: u64 = dsm.read_pod(sys, R_NEXT)?;
                 }
                 let digest = Self::work(t);
+                #[expect(
+                    clippy::cast_possible_truncation,
+                    reason = "task ids are < N_TASKS, a small compile-time constant"
+                )]
                 dsm.write_pod(sys, R_RESULT + t as usize * 8, digest)?;
                 // Compute-bound between claims.
                 sys.compute(200 * US);
@@ -267,6 +275,8 @@ fn farm_with(n_workers: u32, racy_read: bool) -> Vec<Box<dyn App>> {
 }
 
 #[cfg(test)]
+// Test ranks and task ids are tiny; narrowing them for indexing is exact.
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use ft_sim::harness::run_plain_on;

@@ -70,6 +70,11 @@ impl Zipfian {
     }
 
     /// Maps a uniform `u ∈ [0, 1)` to a rank in `0..n` (Gray et al.).
+    #[expect(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        reason = "the Gray/Zipf rank formula yields a value in [0, n) for u in [0, 1)"
+    )]
     pub fn rank(&self, u: f64) -> u64 {
         let uz = u * self.zetan;
         if uz < 1.0 {
@@ -114,6 +119,8 @@ pub fn scramble_rank(rank: u64, key_space: u64) -> u64 {
 }
 
 #[cfg(test)]
+// Test ranks are < a few thousand; narrowing them for indexing is exact.
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use ft_sim::rng::SplitMix64;

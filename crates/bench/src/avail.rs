@@ -299,7 +299,7 @@ fn run_trial(
         // Deliver every arrival the clock has passed; kills landing on
         // done or crashed processes are dropped by the scheduler.
         while next <= horizon && sim.now() >= next {
-            let victim = ProcessId(victims.index(procs) as u32);
+            let victim = ProcessId::from_index(victims.index(procs));
             let now = sim.now();
             sim.kill_at(victim, now);
             next = arrivals.next_arrival_ns();

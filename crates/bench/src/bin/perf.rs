@@ -152,6 +152,10 @@ fn bench_queue_wheel(spin: bool) -> Measured {
                 }
             }
             seq += 1;
+            #[expect(
+                clippy::cast_possible_truncation,
+                reason = "the payload deliberately folds the accumulator to 32 bits"
+            )]
             w.push(t + span(&mut rng), seq, acc as u32);
         }
         std::hint::black_box(acc);
@@ -173,6 +177,10 @@ fn bench_queue_heap() -> Measured {
             let Reverse((t, _, v)) = h.pop().expect("hold model never empties");
             acc = acc.wrapping_add(t).wrapping_add(u64::from(v));
             seq += 1;
+            #[expect(
+                clippy::cast_possible_truncation,
+                reason = "the payload deliberately folds the accumulator to 32 bits"
+            )]
             h.push(Reverse((t + span(&mut rng), seq, acc as u32)));
         }
         std::hint::black_box(acc);

@@ -149,7 +149,10 @@ pub fn engine_probe(ops: u64, seed: u64) -> EngineProbe {
         let val = mix();
         store
             .arena_mut()
-            .write_pod::<u64>((page * 4096) as usize, val)
+            .write_pod::<u64>(
+                usize::try_from(page * 4096).expect("probe offset fits usize"),
+                val,
+            )
             .expect("probe write lands in the arena");
         store.commit().expect("probe commit succeeds");
         if i == ops / 2 {

@@ -381,7 +381,7 @@ fn run_trial(
     let horizon = canon.runtime;
     let report = harness.run_with(|sim| {
         while next <= horizon && sim.now() >= next {
-            let victim = ProcessId(victims.index(procs) as u32);
+            let victim = ProcessId::from_index(victims.index(procs));
             let now = sim.now();
             sim.kill_at(victim, now);
             next = arrivals.next_arrival_ns();

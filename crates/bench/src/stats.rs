@@ -32,7 +32,8 @@ pub fn percentile_sorted(sorted: &[u64], pct: u32) -> u64 {
     }
     // ceil(n * pct / 100) in integer arithmetic; n * pct fits u64 far
     // beyond any sample count the campaign produces.
-    let rank = ((n as u64 * u64::from(pct)).div_ceil(100)).max(1) as usize;
+    let rank = (n as u64 * u64::from(pct)).div_ceil(100).max(1);
+    let rank = usize::try_from(rank).expect("rank <= n, which is a usize");
     sorted[rank - 1]
 }
 

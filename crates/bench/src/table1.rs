@@ -241,7 +241,14 @@ pub fn run_fault_type_par(
     run_cutoff(
         max_trials as usize,
         threads,
-        |t| run_trial(app, fault, t as u32, seeds),
+        |t| {
+            run_trial(
+                app,
+                fault,
+                u32::try_from(t).expect("trial indices fit u32"),
+                seeds,
+            )
+        },
         |_, outcome| {
             if row.crashes >= target_crashes {
                 return false;

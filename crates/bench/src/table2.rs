@@ -125,7 +125,12 @@ pub fn run_fault_type_par(
         propagations: 0,
     };
     for outcome in run_indexed(trials as usize, threads, |t| {
-        run_trial(app, fault, t as u32, seeds)
+        run_trial(
+            app,
+            fault,
+            u32::try_from(t).expect("trial indices fit u32"),
+            seeds,
+        )
     }) {
         absorb(&mut row, outcome);
     }

@@ -47,7 +47,7 @@ pub fn canonical_run(w: &Workload, size: usize, cfg: &CheckConfig) -> Canonical 
     );
     let n = report.trace.num_processes();
     let positions = (0..n)
-        .map(|p| report.trace.process(ProcessId(p as u32)).len() as u64)
+        .map(|p| report.trace.process(ProcessId::from_index(p)).len() as u64)
         .collect();
     let commit_points = report.commit_points_per_proc.clone();
     let visibles = visible_pairs(&report);
@@ -66,7 +66,7 @@ pub fn canonical_run(w: &Workload, size: usize, cfg: &CheckConfig) -> Canonical 
 pub fn enumerate_points(canonical: &Canonical) -> Vec<CrashPoint> {
     let mut pts = Vec::new();
     for p in 0..canonical.positions.len() {
-        let pid = p as u32;
+        let pid = u32::try_from(p).expect("process indices are small and dense");
         pts.push(CrashPoint::AtStart { pid });
         for pos in 1..=canonical.positions[p] {
             pts.push(CrashPoint::AtPosition { pid, pos });

@@ -43,7 +43,10 @@ impl Workload {
     pub fn build(&self, size: usize) -> Built {
         match self.name {
             "nvi" => scenarios::nvi(self.seed, size),
-            "taskfarm" => scenarios::taskfarm(self.seed, size as u32),
+            "taskfarm" => scenarios::taskfarm(
+                self.seed,
+                u32::try_from(size).expect("scenario sizes are small"),
+            ),
             "treadmarks" => scenarios::treadmarks(self.seed, size as u64),
             "xpilot" => scenarios::xpilot(self.seed, size as u64),
             "kvstore" => scenarios::kvstore_check(self.seed, size as u64),

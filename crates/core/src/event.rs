@@ -23,6 +23,14 @@ impl ProcessId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds an id from a dense `usize` index (the inverse of
+    /// [`ProcessId::index`]), centralizing the narrowing so call sites
+    /// don't each carry an unchecked `as u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ProcessId(u32::try_from(i).expect("process indices are small and dense"))
+    }
 }
 
 impl std::fmt::Display for ProcessId {

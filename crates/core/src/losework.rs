@@ -56,7 +56,7 @@ pub fn check_commit_after_activation(trace: &Trace) -> LoseWorkOutcome {
         return LoseWorkOutcome::Upheld;
     }
     for q in 0..trace.num_processes() {
-        let qid = ProcessId(q as u32);
+        let qid = ProcessId::from_index(q);
         for e in trace.process(qid) {
             if !e.kind.is_commit() {
                 continue;

@@ -168,7 +168,7 @@ pub fn check_prefix_extension(
     recovered: &Trace,
 ) -> Result<(), InvariantViolation> {
     for pi in 0..recovered.num_processes() {
-        let p = ProcessId(pi as u32);
+        let p = ProcessId::from_index(pi);
         let reference: Vec<AppEvent> = if pi < canonical.num_processes() {
             canonical.process(p).iter().filter_map(app_event).collect()
         } else {
@@ -202,11 +202,11 @@ pub fn check_prefix_extension(
 /// deterministic re-execution would otherwise paper over.
 pub fn check_commit_durability(trace: &Trace) -> Result<(), InvariantViolation> {
     for pi in 0..trace.num_processes() {
-        let p = ProcessId(pi as u32);
+        let p = ProcessId::from_index(pi);
         let events = trace.process(p);
         for (r, e) in events.iter().enumerate() {
             if let EventKind::Rollback { to_seq } = e.kind {
-                let start = (to_seq as usize).min(r);
+                let start = usize::try_from(to_seq).map_or(r, |s| s.min(r));
                 for undone in &events[start..r] {
                     if let EventKind::Commit { commit_id } = undone.kind {
                         return Err(InvariantViolation::CommitRolledBack {

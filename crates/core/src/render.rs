@@ -60,14 +60,14 @@ pub fn render_trace(trace: &Trace, max_rows: usize) -> String {
     out.push_str(&"-".repeat(width * n));
     out.push('\n');
     let rows = (0..n)
-        .map(|p| trace.process(ProcessId(p as u32)).len())
+        .map(|p| trace.process(ProcessId::from_index(p)).len())
         .max()
         .unwrap_or(0);
     let shown = rows.min(max_rows);
     for r in 0..shown {
         for p in 0..n {
             let cell = trace
-                .process(ProcessId(p as u32))
+                .process(ProcessId::from_index(p))
                 .get(r)
                 .map(event_label)
                 .unwrap_or_default();

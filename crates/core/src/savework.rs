@@ -109,7 +109,7 @@ fn build_index(
     let mut groups: std::collections::HashMap<u64, Vec<EventId>> = std::collections::HashMap::new();
     let idx = (0..trace.num_processes())
         .map(|p| {
-            let pid = ProcessId(p as u32);
+            let pid = ProcessId::from_index(p);
             let mut nd_seqs = Vec::new();
             let mut commit_seqs = Vec::new();
             let mut grouped_commits = Vec::new();
@@ -186,7 +186,7 @@ fn check_rules(
 ) -> Result<(), SaveWorkViolation> {
     let (idx, groups) = build_index(trace);
     for q in 0..trace.num_processes() {
-        let qid = ProcessId(q as u32);
+        let qid = ProcessId::from_index(q);
         for e in trace.process(qid) {
             let rule = match e.kind {
                 EventKind::Visible { .. } if visible_rule => SaveWorkRule::Visible,
@@ -194,7 +194,7 @@ fn check_rules(
                 _ => continue,
             };
             for (p, pidx) in idx.iter().enumerate() {
-                let pid = ProcessId(p as u32);
+                let pid = ProcessId::from_index(p);
                 // How many of p's events *causally precede* e (application
                 // causality generates the Save-work obligation): for p != q
                 // the causal-clock component; for p == q, program order.
@@ -300,7 +300,7 @@ pub fn find_orphans(trace: &Trace, rollbacks: &[Rollback]) -> Vec<OrphanReport> 
             continue;
         }
         for q in 0..trace.num_processes() {
-            let qid = ProcessId(q as u32);
+            let qid = ProcessId::from_index(q);
             if qid == rb.pid {
                 continue;
             }

@@ -121,6 +121,11 @@ pub fn trends(nd_effort: f64, visible_effort: f64) -> DesignTrends {
 ///
 /// `width`/`height` are the plot dimensions in characters; points are
 /// labeled with an index into the returned legend.
+#[expect(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    reason = "efforts are in [0, 1] (clamped onto the grid) and labels cycle through 36 digits"
+)]
 pub fn ascii_plot(points: &[SpacePoint], width: usize, height: usize) -> String {
     assert!(width >= 10 && height >= 5, "plot too small");
     let mut grid = vec![vec![' '; width]; height];

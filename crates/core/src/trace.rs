@@ -50,7 +50,9 @@ impl Trace {
 
     /// Looks up an event by id.
     pub fn get(&self, id: EventId) -> Option<&Event> {
-        self.events.get(id.pid.index())?.get(id.seq as usize)
+        self.events
+            .get(id.pid.index())?
+            .get(usize::try_from(id.seq).ok()?)
     }
 
     /// Iterates over all events of all processes.

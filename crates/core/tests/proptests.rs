@@ -3,6 +3,11 @@
 //! monotonicity. Seeded and deterministic (ft-core sits below the
 //! simulator crate, so it carries its own tiny generator).
 
+// Test inputs are tiny by construction (seed counts, page numbers,
+// probe offsets), so index-type narrowing cannot truncate here; the
+// production decode paths stay under the per-site cast audit.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use ft_core::clock::VectorClock;
 use ft_core::consistency::check_equivalence;
 use ft_core::event::{MsgId, NdSource, ProcessId};
@@ -89,7 +94,7 @@ fn run_protocol(proto: Protocol, n_procs: usize, ops: &[Op]) -> ft_core::trace::
                  trackers: &mut Vec<DepTracker>,
                  p: usize,
                  ev: InterceptedEvent| {
-        let pid = ProcessId(p as u32);
+        let pid = ProcessId::from_index(p);
         let d = planners[p].decide(ev);
         match d.before {
             CommitScope::None => {}
@@ -108,7 +113,7 @@ fn run_protocol(proto: Protocol, n_procs: usize, ops: &[Op]) -> ft_core::trace::
                 // obligations. Participants: everyone under CPV-2PC; the
                 // transitive dependency closure under CBNDV-2PC.
                 let participants: Vec<ProcessId> = if proto == Protocol::Cpv2pc {
-                    (0..planners.len()).map(|q| ProcessId(q as u32)).collect()
+                    (0..planners.len()).map(ProcessId::from_index).collect()
                 } else {
                     coordinated_participants(trackers, p as u32)
                         .into_iter()
@@ -147,7 +152,7 @@ fn run_protocol(proto: Protocol, n_procs: usize, ops: &[Op]) -> ft_core::trace::
                     p,
                     InterceptedEvent::Nd { source },
                 );
-                let pid = ProcessId(p as u32);
+                let pid = ProcessId::from_index(p);
                 if d.log {
                     b.nd_logged(pid, source);
                 } else {
@@ -173,10 +178,10 @@ fn run_protocol(proto: Protocol, n_procs: usize, ops: &[Op]) -> ft_core::trace::
                     f,
                     InterceptedEvent::Send,
                 );
-                let (_, m) = b.send(ProcessId(f as u32), ProcessId(t as u32));
-                pending[t].push((ProcessId(f as u32), m, trackers[f].snapshot()));
+                let (_, m) = b.send(ProcessId::from_index(f), ProcessId::from_index(t));
+                pending[t].push((ProcessId::from_index(f), m, trackers[f].snapshot()));
                 if d.after {
-                    b.commit(ProcessId(f as u32));
+                    b.commit(ProcessId::from_index(f));
                     planners[f].note_committed();
                     trackers[f].clear();
                 }
@@ -196,7 +201,7 @@ fn run_protocol(proto: Protocol, n_procs: usize, ops: &[Op]) -> ft_core::trace::
                         source: NdSource::MessageRecv,
                     },
                 );
-                let pid = ProcessId(p as u32);
+                let pid = ProcessId::from_index(p);
                 if d.log {
                     b.recv_logged(pid, from, m);
                     // A logged receive can still carry a dependence on the
@@ -222,9 +227,9 @@ fn run_protocol(proto: Protocol, n_procs: usize, ops: &[Op]) -> ft_core::trace::
                     InterceptedEvent::Visible,
                 );
                 token += 1;
-                b.visible(ProcessId(p as u32), token);
+                b.visible(ProcessId::from_index(p), token);
                 if d.after {
-                    b.commit(ProcessId(p as u32));
+                    b.commit(ProcessId::from_index(p));
                     planners[p].note_committed();
                     trackers[p].clear();
                 }
@@ -238,9 +243,9 @@ fn run_protocol(proto: Protocol, n_procs: usize, ops: &[Op]) -> ft_core::trace::
                     p,
                     InterceptedEvent::Other,
                 );
-                b.internal(ProcessId(p as u32));
+                b.internal(ProcessId::from_index(p));
                 if d.after {
-                    b.commit(ProcessId(p as u32));
+                    b.commit(ProcessId::from_index(p));
                     planners[p].note_committed();
                     trackers[p].clear();
                 }
@@ -339,7 +344,7 @@ fn vector_clock_join_laws() {
             let mut c = VectorClock::new(4);
             for i in 0..4 {
                 for _ in 0..rng.below(50) {
-                    c.tick(ProcessId(i as u32));
+                    c.tick(ProcessId::from_index(i));
                 }
             }
             c

@@ -464,7 +464,7 @@ pub fn corruption_trial(exe: &Path) -> Result<String, String> {
     let log_path = dir.join(LOG_FILE);
     let mut bytes = std::fs::read(&log_path).map_err(|e| format!("read log: {e}"))?;
     let mut frames = Vec::new();
-    let mut off = LOG_HEADER_LEN as usize;
+    let mut off = usize::try_from(LOG_HEADER_LEN).expect("the header is 44 bytes");
     while off + 8 <= bytes.len() {
         let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
         if off + 8 + len > bytes.len() {

@@ -54,6 +54,10 @@ pub fn visible_token(seed: u64, i: u64) -> u64 {
 /// disjoint page pairs (for any arena of ≥ 4 pages), which the
 /// corruption trial relies on: a byte flipped in op `i`'s redo record
 /// cannot be masked by op `i+1`'s replay.
+#[expect(
+    clippy::cast_possible_truncation,
+    reason = "both values are reduced modulo the page count, a usize"
+)]
 pub fn op_pages(i: u64, total_pages: usize) -> (usize, usize) {
     let p = total_pages as u64;
     (((2 * i) % p) as usize, ((2 * i + 1) % p) as usize)
@@ -61,6 +65,10 @@ pub fn op_pages(i: u64, total_pages: usize) -> (usize, usize) {
 
 /// Performs op `i`'s writes: the nd value and a derived second word, one
 /// into each of its two pages at an op-indexed offset.
+#[expect(
+    clippy::cast_possible_truncation,
+    reason = "the offset is reduced modulo the page size after the narrowing; op counts are tiny"
+)]
 pub fn apply_op(arena: &mut Arena, seed: u64, i: u64) {
     let (a, b) = op_pages(i, arena.layout().total_pages());
     let off = ((i as usize) * 8) % PAGE_SIZE;

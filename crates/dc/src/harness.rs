@@ -82,7 +82,7 @@ impl DcReport {
     pub fn commit_order(&self) -> Vec<(ft_core::event::EventId, Option<u64>)> {
         let mut out = Vec::new();
         for p in 0..self.trace.num_processes() {
-            for e in self.trace.process(ft_core::event::ProcessId(p as u32)) {
+            for e in self.trace.process(ft_core::event::ProcessId::from_index(p)) {
                 if e.kind.is_commit() {
                     out.push((e.id, e.atomic_group));
                 }
@@ -342,19 +342,19 @@ impl DcHarness {
         // Incidents still open at the end of the run (abandoned processes,
         // deadlocks, horizon truncation) never recovered.
         for p in 0..n {
-            self.close_incident(ProcessId(p as u32), None);
+            self.close_incident(ProcessId::from_index(p), None);
         }
-        let all_done = (0..n).all(|p| self.sim.is_done(ProcessId(p as u32)));
+        let all_done = (0..n).all(|p| self.sim.is_done(ProcessId::from_index(p)));
         let commits_per_proc = (0..n)
-            .map(|p| self.rt.state(ProcessId(p as u32)).stats.commits)
+            .map(|p| self.rt.state(ProcessId::from_index(p)).stats.commits)
             .collect();
         let commit_points_per_proc = (0..n)
-            .map(|p| self.rt.commit_points(ProcessId(p as u32)))
+            .map(|p| self.rt.commit_points(ProcessId::from_index(p)))
             .collect();
         let totals = self.rt.total_stats();
         let mut arena = ArenaStats::default();
         for p in 0..n {
-            arena.absorb(&self.rt.state(ProcessId(p as u32)).mem.arena.stats());
+            arena.absorb(&self.rt.state(ProcessId::from_index(p)).mem.arena.stats());
         }
         let net = self.sim.net_stats();
         let runtime = self.sim.now();

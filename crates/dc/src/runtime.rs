@@ -34,8 +34,8 @@ impl DcRuntime {
             .into_iter()
             .enumerate()
             .map(|(p, mem)| {
-                let kernel = sim.kernel_of(ProcessId(p as u32)).snapshot();
-                ProcState::new(p as u32, cfg.protocol, mem, kernel)
+                let kernel = sim.kernel_of(ProcessId::from_index(p)).snapshot();
+                ProcState::new(ProcessId::from_index(p).0, cfg.protocol, mem, kernel)
             })
             .collect();
         let commit_points = vec![0; states.len()];
@@ -237,9 +237,7 @@ impl DcRuntime {
             return;
         }
         let participants: Vec<ProcessId> = if self.cfg.protocol == Protocol::Cpv2pc {
-            (0..self.states.len())
-                .map(|q| ProcessId(q as u32))
-                .collect()
+            (0..self.states.len()).map(ProcessId::from_index).collect()
         } else {
             let trackers: Vec<DepTracker> = self.states.iter().map(|s| s.tracker.clone()).collect();
             coordinated_participants(&trackers, me.0)
@@ -321,7 +319,7 @@ impl DcRuntime {
     /// Used by the harness when `periodic_checkpoint_ns` is configured.
     pub fn periodic_round(&mut self, sim: &mut Simulator) {
         let participants: Vec<ProcessId> = (0..self.states.len())
-            .map(|q| ProcessId(q as u32))
+            .map(ProcessId::from_index)
             .filter(|&q| !sim.is_done(q) && !sim.is_crashed(q))
             .collect();
         if participants.is_empty() {

@@ -1,6 +1,11 @@
 //! Focused runtime tests: committed-snapshot contents, kernel
 //! reconstruction, pending-nd capture, and file-state recovery.
 
+// Test inputs are tiny by construction (seed counts, page numbers,
+// probe offsets), so index-type narrowing cannot truncate here; the
+// production decode paths stay under the per-site cast audit.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use ft_core::event::ProcessId;
 use ft_core::protocol::Protocol;
 use ft_dc::harness::DcHarness;

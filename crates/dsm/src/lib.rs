@@ -171,6 +171,10 @@ impl Dsm {
 
     /// Reads bytes at a region-relative offset, reporting the access to
     /// the shared-memory stream (the `ft-analyze` race passes consume it).
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "region offsets/lengths are arena-bounded, far below u32::MAX; the shm-op stream keeps them compact"
+    )]
     pub fn read(&self, sys: &mut dyn SysMem, off: usize, len: usize) -> MemResult<Vec<u8>> {
         let out = self.read_raw(sys.mem(), off, len)?;
         sys.shm_op(ShmOp::Read {
@@ -182,6 +186,10 @@ impl Dsm {
 
     /// Reads a [`Pod`] value at a region-relative offset, reporting the
     /// access to the shared-memory stream.
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "region offsets/lengths are arena-bounded, far below u32::MAX; the shm-op stream keeps them compact"
+    )]
     pub fn read_pod<T: Pod>(&self, sys: &mut dyn SysMem, off: usize) -> MemResult<T> {
         let v = self.read_pod_raw(sys.mem(), off)?;
         sys.shm_op(ShmOp::Read {
@@ -193,6 +201,10 @@ impl Dsm {
 
     /// Writes bytes at a region-relative offset, marking the touched DSM
     /// pages dirty and reporting the access to the shared-memory stream.
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "region offsets/lengths are arena-bounded, far below u32::MAX; the shm-op stream keeps them compact"
+    )]
     pub fn write(&self, sys: &mut dyn SysMem, off: usize, bytes: &[u8]) -> MemResult<()> {
         let len = bytes.len();
         self.write_raw(sys.mem(), off, bytes)?;
@@ -205,6 +217,10 @@ impl Dsm {
 
     /// Writes a [`Pod`] value at a region-relative offset, reporting the
     /// access to the shared-memory stream.
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "region offsets/lengths are arena-bounded, far below u32::MAX; the shm-op stream keeps them compact"
+    )]
     pub fn write_pod<T: Pod>(&self, sys: &mut dyn SysMem, off: usize, value: T) -> MemResult<()> {
         self.write_pod_raw(sys.mem(), off, value)?;
         sys.shm_op(ShmOp::Write {
@@ -261,6 +277,10 @@ impl Dsm {
     }
 
     /// Computes this node's diffs (dirty pages vs. twin).
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "run starts are < DSM_PAGE and page numbers < n_pages, both far below u32::MAX"
+    )]
     fn compute_diffs(&self, mem: &Mem) -> MemResult<Vec<PageDiff>> {
         let mut out = Vec::new();
         for p in 0..self.n_pages {
@@ -332,6 +352,10 @@ impl Dsm {
 
     /// Applies and clears all stashed diffs (now belonging to the current
     /// round).
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "stash lengths are bounded by the region size; peer counts fit u32 by construction"
+    )]
     fn stash_drain(&self, mem: &mut Mem) -> MemResult<()> {
         for i in 0..self.n_nodes as usize - 1 {
             let slot = self.stash_slot(i);
@@ -465,6 +489,10 @@ impl Dsm {
     /// re-encodes compactly. The lock manager accumulates release diffs
     /// with this: an acquirer needs every write notice it hasn't seen,
     /// not just the immediately preceding release's.
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "run offsets and lengths are < DSM_PAGE, far below u32::MAX"
+    )]
     pub(crate) fn merge_diff_payloads(older: &[u8], newer: &[u8]) -> MemResult<Vec<u8>> {
         let mut bytes: std::collections::BTreeMap<(u32, u32), u8> = Default::default();
         for payload in [older, newer] {
@@ -512,6 +540,10 @@ impl Dsm {
     /// Pumps the barrier/diff-exchange state machine. Performs at most one
     /// event syscall per call; keep pumping until `Done`. On `Blocked`,
     /// block the step on a message wait condition.
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "send_idx counts peers (< n_nodes <= 64) and the presence mask is built from n_nodes bits, so both narrowings are exact"
+    )]
     pub fn barrier_pump(&self, sys: &mut dyn SysMem) -> MemResult<BarrierStatus> {
         let phase = self.ctrl(C_PHASE);
         let round_c = self.ctrl(C_ROUND);
@@ -749,7 +781,7 @@ mod tests {
         // Last byte of page 0, first byte of page 1: must stay two diffs.
         let older = enc(vec![PageDiff {
             page: 0,
-            runs: vec![(DSM_PAGE as u32 - 1, vec![1])],
+            runs: vec![(u32::try_from(DSM_PAGE).unwrap() - 1, vec![1])],
         }]);
         let newer = enc(vec![PageDiff {
             page: 1,
@@ -794,6 +826,9 @@ mod tests {
 }
 
 #[cfg(test)]
+// Proptest diffs are built over 2 pages with in-page offsets; narrowing
+// counts to u32 cannot truncate.
+#[allow(clippy::cast_possible_truncation)]
 mod merge_proptests {
     use super::*;
     use ft_sim::rng::SplitMix64;

@@ -296,8 +296,10 @@ impl LockServer {
                 // Send: hand the lock (with the accumulated notices) to
                 // the next waiter, if any.
                 if let Some(n) = next {
+                    let waiter =
+                        ProcessId(u32::try_from(n).expect("waiter ids were u32 at enqueue"));
                     sys.send(
-                        ProcessId(n as u32),
+                        waiter,
                         LockMsg::Grant {
                             lock: *lock,
                             diffs: merged.clone(),

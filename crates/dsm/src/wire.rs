@@ -28,26 +28,28 @@ impl<'a> Reader<'a> {
 
     pub(crate) fn u8(&mut self) -> MemResult<u8> {
         let b = *self.buf.get(self.pos).ok_or(BAD)?;
-        self.pos += 1;
+        self.pos = self.pos.checked_add(1).ok_or(BAD)?;
         Ok(b)
     }
 
     pub(crate) fn u32(&mut self) -> MemResult<u32> {
-        let b = self.buf.get(self.pos..self.pos + 4).ok_or(BAD)?;
-        self.pos += 4;
-        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        let end = self.pos.checked_add(4).ok_or(BAD)?;
+        let b = self.buf.get(self.pos..end).ok_or(BAD)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(b.try_into().map_err(|_| BAD)?))
     }
 
     pub(crate) fn u64(&mut self) -> MemResult<u64> {
-        let b = self.buf.get(self.pos..self.pos + 8).ok_or(BAD)?;
-        self.pos += 8;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        let end = self.pos.checked_add(8).ok_or(BAD)?;
+        let b = self.buf.get(self.pos..end).ok_or(BAD)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(b.try_into().map_err(|_| BAD)?))
     }
 
     pub(crate) fn bytes(&mut self, n: usize) -> MemResult<&'a [u8]> {
-        let b = self.buf.get(self.pos..self.pos.checked_add(n).ok_or(BAD)?);
-        let b = b.ok_or(BAD)?;
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(BAD)?;
+        let b = self.buf.get(self.pos..end).ok_or(BAD)?;
+        self.pos = end;
         Ok(b)
     }
 
@@ -67,6 +69,10 @@ impl<'a> Reader<'a> {
     }
 }
 
+#[expect(
+    clippy::cast_possible_truncation,
+    reason = "runs are < DSM_PAGE bytes; the wire format stores lengths as u32 on purpose"
+)]
 pub(crate) fn put_blob(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
     out.extend_from_slice(bytes);
@@ -83,6 +89,10 @@ fn diffs_encoded_len(diffs: &[PageDiff]) -> usize {
         .sum::<usize>()
 }
 
+#[expect(
+    clippy::cast_possible_truncation,
+    reason = "diff and run counts are bounded by pages x DSM_PAGE, far below u32::MAX"
+)]
 fn encode_diffs_into(out: &mut Vec<u8>, diffs: &[PageDiff]) {
     out.extend_from_slice(&(diffs.len() as u32).to_le_bytes());
     for d in diffs {
@@ -335,5 +345,48 @@ mod tests {
         longer.push(0);
         assert!(decode_diffs(&longer).is_err());
         assert!(decode_diff_msg(&[0xFF; 3]).is_err());
+    }
+
+    /// Regression for the fail-stop conversion of `Reader`: short
+    /// buffers and cursor-overflow requests must return `Err`, never
+    /// panic — decode runs against deliberately corrupted campaign
+    /// payloads. (The old primitives computed `self.pos + 4` bare and
+    /// `expect`ed the slice-to-array conversion.)
+    #[test]
+    fn reader_primitives_fail_stop_on_short_or_overflowing_input() {
+        assert!(Reader::new(&[]).u8().is_err());
+        assert!(Reader::new(&[1, 2, 3]).u32().is_err());
+        assert!(Reader::new(&[1, 2, 3, 4, 5, 6, 7]).u64().is_err());
+        assert!(Reader::new(&[0; 4]).bytes(5).is_err());
+        // `pos + n` would overflow: the checked cursor must reject it.
+        let mut r = Reader::new(&[0; 8]);
+        r.u32().unwrap();
+        assert!(r.bytes(usize::MAX).is_err());
+        // After any failure the cursor is unmoved, so decoding can
+        // report a precise offset.
+        let mut r = Reader::new(&[7, 0, 0, 0]);
+        assert!(r.u64().is_err());
+        assert_eq!(r.u32().unwrap(), 7);
+    }
+
+    /// Every strict prefix of a valid message decodes to `Err`, never a
+    /// panic: the exhaustive version of the spot checks above.
+    #[test]
+    fn every_truncation_of_a_valid_message_fails_cleanly() {
+        let bytes = encode_diff_msg(&DiffMsg {
+            round: 3,
+            from: 1,
+            diffs: vec![PageDiff {
+                page: 2,
+                runs: vec![(0, vec![0xAB; 32]), (512, vec![0xCD; 8])],
+            }],
+        });
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_diff_msg(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail-stop"
+            );
+        }
+        assert!(decode_diff_msg(&bytes).is_ok());
     }
 }

@@ -42,6 +42,11 @@ pub struct ExpSampler {
 }
 
 /// Converts one raw 64-bit draw into an exponential gap in nanoseconds.
+#[expect(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    reason = "-ln(1-u) is >= 0 and gaps are clamped to plausible nanosecond ranges far below u64::MAX"
+)]
 fn gap_from_raw(raw: u64, rate_per_sec: f64) -> u64 {
     // Same bit-to-unit mapping as `SplitMix64::unit_f64`: u ∈ [0, 1), so
     // 1 - u ∈ (0, 1] and the logarithm is finite.

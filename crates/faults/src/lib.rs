@@ -279,7 +279,7 @@ impl FaultInjector {
             }
         };
         let off = range.start + self.rng.index(range.end - range.start);
-        let bit = self.rng.below(8) as u8;
+        let bit = u8::try_from(self.rng.below(8)).expect("draw is < 8");
         // A corruption that lands out of a mapped page cannot happen here
         // (regions are always mapped); the write is infallible.
         mem.arena.flip_bit(off, bit).expect("region is mapped");

@@ -123,7 +123,7 @@ mod tests {
         for i in 0..2000 {
             let s = p.session_of(i);
             assert!(s < 8);
-            seen[s as usize] = true;
+            seen[usize::try_from(s).unwrap()] = true;
         }
         assert!(seen.iter().all(|&b| b), "some session never attributed");
     }

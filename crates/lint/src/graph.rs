@@ -1,0 +1,129 @@
+//! Name-based call-approximation graph and recovery-scope closure.
+//!
+//! The parser records, for every fn, the bare names its body calls.
+//! Within one file those names resolve to fn items by exact match (all
+//! items sharing the name are linked — overload-by-impl is common and
+//! the conservative direction is to mark them all). The recovery scope
+//! of a file is the closure of its configured entry points over these
+//! edges: `DurableStore::open` reaches `parse_log_header`, which
+//! reaches `read_u32`, so a panicking index added to `read_u32` next
+//! year is flagged without anyone re-listing it.
+//!
+//! The closure is deliberately bounded to the file that owns the roots:
+//! common names (`write`, `new`, `len`) would otherwise leak the scope
+//! across the whole workspace through accidental matches. Cross-file
+//! recovery code is brought in by listing its own roots in
+//! [`crate::scope::Config::recovery_roots`]. This trade-off is part of
+//! the rule contract and documented in DESIGN.md §15.
+
+use std::collections::BTreeMap;
+
+use crate::parse::FileIndex;
+
+/// Marks, for each fn in `index` (parallel to `index.fns`), whether it
+/// is reachable from `roots` via same-file name-matched calls, without
+/// entering any fn named in `stops` (the configured edge of the scope —
+/// e.g. recovery ends where the write path begins). Also returns how
+/// many fns were marked (0 means the roots no longer match anything — a
+/// config-drift signal the report surfaces).
+pub fn recovery_closure(
+    index: &FileIndex,
+    roots: &[String],
+    stops: &[String],
+) -> (Vec<bool>, usize) {
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, f) in index.fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(i);
+    }
+    let stopped = |name: &str| stops.iter().any(|s| s == name);
+    let mut marked = vec![false; index.fns.len()];
+    let mut queue: Vec<usize> = Vec::new();
+    for r in roots {
+        if let Some(ids) = by_name.get(r.as_str()) {
+            for &i in ids {
+                if !marked[i] {
+                    marked[i] = true;
+                    queue.push(i);
+                }
+            }
+        }
+    }
+    while let Some(i) = queue.pop() {
+        for call in &index.fns[i].calls {
+            if stopped(call) {
+                continue;
+            }
+            if let Some(ids) = by_name.get(call.as_str()) {
+                for &j in ids {
+                    if !marked[j] {
+                        marked[j] = true;
+                        queue.push(j);
+                    }
+                }
+            }
+        }
+    }
+    let count = marked.iter().filter(|&&m| m).count();
+    (marked, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, LineIndex};
+    use crate::parse::parse;
+
+    #[test]
+    fn closure_follows_call_chains_not_names_alone() {
+        let src = r#"
+            pub fn open() { step_one(); }
+            fn step_one() { leaf(); }
+            fn leaf() {}
+            fn unrelated() { also_unreached(); }
+            fn also_unreached() {}
+        "#;
+        let tokens = lex(src);
+        let idx = parse(src, &tokens, &LineIndex::new(src));
+        let (marks, n) = recovery_closure(&idx, &["open".to_string()], &[]);
+        let marked: Vec<&str> = idx
+            .fns
+            .iter()
+            .zip(&marks)
+            .filter(|(_, &m)| m)
+            .map(|(f, _)| f.name.as_str())
+            .collect();
+        assert_eq!(marked, vec!["open", "step_one", "leaf"]);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn missing_roots_mark_nothing() {
+        let src = "fn a() {}";
+        let tokens = lex(src);
+        let idx = parse(src, &tokens, &LineIndex::new(src));
+        let (_, n) = recovery_closure(&idx, &["gone".to_string()], &[]);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn stops_cut_the_closure() {
+        let src = r#"
+            pub fn open() { replay(); commit(); }
+            fn replay() {}
+            fn commit() { stage() }
+            fn stage() {}
+        "#;
+        let tokens = lex(src);
+        let idx = parse(src, &tokens, &LineIndex::new(src));
+        let (marks, n) = recovery_closure(&idx, &["open".to_string()], &["commit".to_string()]);
+        let marked: Vec<&str> = idx
+            .fns
+            .iter()
+            .zip(&marks)
+            .filter(|(_, &m)| m)
+            .map(|(f, _)| f.name.as_str())
+            .collect();
+        assert_eq!(marked, vec!["open", "replay"]);
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,752 @@
+//! Coarse item parser: `mod` / `impl` / `trait` / `fn` / `struct`
+//! boundaries over the token stream.
+//!
+//! This is deliberately not a Rust parser. The rules need four things:
+//! which function body a token belongs to (so findings can be scoped),
+//! each function's module path and `#[test]`-ness (so test code is
+//! exempt from production-only rules), which names in a file are
+//! `HashMap`/`HashSet`-typed (struct fields, locals, params — the
+//! `unordered-iteration` rule's receivers), and the called names inside
+//! each body (the edges of the name-based call graph). Everything else —
+//! expressions, types, generics — is skipped by delimiter matching.
+//!
+//! Known approximations are documented in DESIGN.md §15; the important
+//! ones: nesting is tracked purely by delimiter matching (a `fn` inside
+//! a `match` arm or macro body is attributed to the nearest enclosing
+//! recognized item rather than parsed separately), and hash-typed field
+//! names are pooled per file rather than resolved per struct.
+
+use crate::lexer::{is_trivia, LineIndex, Token, TokenKind};
+
+/// One function item (including methods, nested fns, trait defaults).
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Bare name (`open`, `scan_frame`, …).
+    pub name: String,
+    /// `module::Type::name`-style display path within the file.
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token-index range `[lo, hi)` of the body contents (braces
+    /// excluded), into the full token vec; `None` for bodyless trait
+    /// method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Token index of the `fn` keyword.
+    pub fn_token: usize,
+    /// Inside `#[cfg(test)]`, or `#[test]` itself.
+    pub is_test: bool,
+    /// Bare names this body calls (free calls, method calls, macro
+    /// names) — outgoing edges of the call-approximation graph. Sorted,
+    /// deduplicated.
+    pub calls: Vec<String>,
+    /// Names that are `HashMap`/`HashSet`-typed inside this fn: `let`
+    /// bindings whose statement mentions either type, and parameters.
+    pub hash_locals: Vec<String>,
+}
+
+/// Per-file parse result.
+#[derive(Debug, Default)]
+pub struct FileIndex {
+    /// Every function item found, in source order.
+    pub fns: Vec<FnInfo>,
+    /// Struct field names whose declared type mentions `HashMap` or
+    /// `HashSet` anywhere in the file (pooled across structs).
+    pub hash_fields: Vec<String>,
+}
+
+impl FileIndex {
+    /// The innermost function whose body contains token index `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnInfo> {
+        // Innermost = the latest-starting body that covers `i`.
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(lo, hi)| lo <= i && i < hi))
+            .max_by_key(|f| f.body.map_or(0, |(lo, _)| lo))
+    }
+}
+
+/// Words that look like calls (`if (…)`) but are control flow or syntax.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "ref", "mut", "let",
+    "else", "fn", "impl", "pub", "use", "mod", "struct", "enum", "union", "trait", "where",
+    "unsafe", "async", "await", "dyn", "break", "continue", "const", "static", "type", "crate",
+];
+
+/// Item qualifiers that may sit between an attribute and its item.
+const QUALIFIERS: &[&str] = &["pub", "unsafe", "async", "const", "extern", "default"];
+
+/// Advances past trivia starting at `i`; returns `tokens.len()` at end.
+pub fn next_code(tokens: &[Token], mut i: usize) -> usize {
+    while i < tokens.len() && is_trivia(tokens[i].kind) {
+        i += 1;
+    }
+    i
+}
+
+/// The nearest non-trivia token index strictly before `i`, if any.
+pub fn prev_code(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !is_trivia(tokens[j].kind) {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// For every opening `(`/`[`/`{` token index, the index of its matching
+/// closer. Unmatched openers map to `usize::MAX`.
+pub fn close_map(src: &str, tokens: &[Token]) -> Vec<usize> {
+    let mut out = vec![usize::MAX; tokens.len()];
+    let mut stacks: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Punct || t.end - t.start != 1 {
+            continue;
+        }
+        match src.as_bytes()[t.start] {
+            b'(' => stacks[0].push(i),
+            b'[' => stacks[1].push(i),
+            b'{' => stacks[2].push(i),
+            b')' => {
+                if let Some(o) = stacks[0].pop() {
+                    out[o] = i;
+                }
+            }
+            b']' => {
+                if let Some(o) = stacks[1].pop() {
+                    out[o] = i;
+                }
+            }
+            b'}' => {
+                if let Some(o) = stacks[2].pop() {
+                    out[o] = i;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Parses one file's token stream into its item index.
+pub fn parse(src: &str, tokens: &[Token], lines: &LineIndex) -> FileIndex {
+    let close = close_map(src, tokens);
+    let mut out = FileIndex::default();
+    let file_test = has_inner_test_cfg(src, tokens, &close);
+    let p = Parser {
+        src,
+        tokens,
+        lines,
+        close,
+    };
+    p.scan_items(0, tokens.len(), &mut Vec::new(), file_test, &mut out);
+    out.hash_fields.sort_unstable();
+    out.hash_fields.dedup();
+    out
+}
+
+/// `#![cfg(test)]` as a file-level inner attribute.
+fn has_inner_test_cfg(src: &str, tokens: &[Token], close: &[usize]) -> bool {
+    let mut i = next_code(tokens, 0);
+    while i < tokens.len() && tokens[i].text(src) == "#" {
+        let mut j = next_code(tokens, i + 1);
+        if j < tokens.len() && tokens[j].text(src) == "!" {
+            j = next_code(tokens, j + 1);
+        }
+        if j >= tokens.len() || tokens[j].text(src) != "[" || close[j] == usize::MAX {
+            return false;
+        }
+        if attr_mentions_test(src, tokens, j + 1, close[j]) {
+            return true;
+        }
+        i = next_code(tokens, close[j] + 1);
+    }
+    false
+}
+
+/// Whether an attribute's content marks test code: a bare `test`, or
+/// `cfg(… test …)` not inside `not(…)`.
+fn attr_mentions_test(src: &str, tokens: &[Token], lo: usize, hi: usize) -> bool {
+    let mut has_test = false;
+    let mut has_not = false;
+    for t in &tokens[lo..hi] {
+        if t.kind == TokenKind::Ident {
+            match t.text(src) {
+                "test" => has_test = true,
+                "not" => has_not = true,
+                _ => {}
+            }
+        }
+    }
+    has_test && !has_not
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    tokens: &'a [Token],
+    lines: &'a LineIndex,
+    close: Vec<usize>,
+}
+
+impl Parser<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.tokens[i].text(self.src)
+    }
+
+    /// Jumps past a matched delimiter starting at opener `i`; if the
+    /// opener is unmatched, steps one token (progress is guaranteed).
+    fn skip_matched(&self, i: usize) -> usize {
+        match self.close.get(i) {
+            Some(&c) if c != usize::MAX => c + 1,
+            _ => i + 1,
+        }
+    }
+
+    /// Skips a `<…>` generic-argument run starting at the `<` at `i`,
+    /// treating `<<`/`>>` as two angles each (`Vec<Vec<u8>>`).
+    fn skip_angles(&self, mut i: usize) -> usize {
+        let mut depth = 0i64;
+        while i < self.tokens.len() {
+            match self.text(i) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                "(" | "[" | "{" => {
+                    i = self.skip_matched(i);
+                    continue;
+                }
+                ";" => return i, // runaway: bail at statement end
+                _ => {}
+            }
+            i += 1;
+            if depth <= 0 {
+                return i;
+            }
+        }
+        i
+    }
+
+    /// Item scan over `[lo, hi)` at one nesting level. `path` is the
+    /// enclosing module/impl name stack; `in_test` marks an enclosing
+    /// `#[cfg(test)]`.
+    fn scan_items(
+        &self,
+        lo: usize,
+        hi: usize,
+        path: &mut Vec<String>,
+        in_test: bool,
+        out: &mut FileIndex,
+    ) {
+        let mut i = next_code(self.tokens, lo);
+        // Whether any attribute attached to the upcoming item mentions
+        // test-ness; reset when an item or unrelated token is consumed.
+        let mut attr_test = false;
+        while i < hi {
+            let txt = self.text(i);
+            match txt {
+                "#" => {
+                    let mut j = next_code(self.tokens, i + 1);
+                    if j < hi && self.text(j) == "!" {
+                        j = next_code(self.tokens, j + 1);
+                    }
+                    if j < hi && self.text(j) == "[" && self.close[j] != usize::MAX {
+                        if attr_mentions_test(self.src, self.tokens, j + 1, self.close[j]) {
+                            attr_test = true;
+                        }
+                        i = next_code(self.tokens, self.close[j] + 1);
+                    } else {
+                        i = next_code(self.tokens, i + 1);
+                    }
+                    continue;
+                }
+                "mod" => {
+                    let n = next_code(self.tokens, i + 1);
+                    if n < hi && self.tokens[n].kind == TokenKind::Ident {
+                        let name = self.text(n).to_string();
+                        let b = next_code(self.tokens, n + 1);
+                        if b < hi && self.text(b) == "{" && self.close[b] != usize::MAX {
+                            path.push(name);
+                            self.scan_items(b + 1, self.close[b], path, in_test || attr_test, out);
+                            path.pop();
+                            i = next_code(self.tokens, self.close[b] + 1);
+                        } else {
+                            i = next_code(self.tokens, b + 1);
+                        }
+                    } else {
+                        i = next_code(self.tokens, n);
+                    }
+                    attr_test = false;
+                }
+                "struct" => {
+                    i = self.scan_struct(i, hi, out);
+                    attr_test = false;
+                }
+                "impl" | "trait" => {
+                    i = self.scan_impl_or_trait(i, hi, path, in_test || attr_test, out);
+                    attr_test = false;
+                }
+                "fn" => {
+                    i = self.scan_fn(i, hi, path, in_test, attr_test, out);
+                    attr_test = false;
+                }
+                "{" | "(" | "[" => {
+                    i = next_code(self.tokens, self.skip_matched(i));
+                    // A block ends whatever item the attrs belonged to.
+                    attr_test = false;
+                }
+                _ => {
+                    if !QUALIFIERS.contains(&txt) {
+                        // Plain tokens between items (use paths, enum
+                        // names, expression statements in fn bodies…)
+                        // break the attr → item association only at
+                        // statement boundaries; keeping it alive through
+                        // arbitrary tokens is harmless because only the
+                        // next recognized item consumes it.
+                        if txt == ";" {
+                            attr_test = false;
+                        }
+                    }
+                    i = next_code(self.tokens, i + 1);
+                }
+            }
+        }
+    }
+
+    /// `struct Name { fields }` — records hash-typed field names.
+    /// Returns the next scan position.
+    fn scan_struct(&self, at: usize, hi: usize, out: &mut FileIndex) -> usize {
+        let mut i = next_code(self.tokens, at + 1); // name
+        i = next_code(self.tokens, i + 1);
+        if i < hi && self.text(i) == "<" {
+            i = next_code(self.tokens, self.skip_angles(i));
+        }
+        // `where` clauses may precede the brace; tuple structs use `(`.
+        while i < hi {
+            match self.text(i) {
+                "{" => {
+                    if self.close[i] != usize::MAX {
+                        self.scan_fields(i + 1, self.close[i], out);
+                        return next_code(self.tokens, self.close[i] + 1);
+                    }
+                    return i + 1;
+                }
+                ";" => return next_code(self.tokens, i + 1),
+                "(" => {
+                    i = next_code(self.tokens, self.skip_matched(i));
+                }
+                "<" => i = next_code(self.tokens, self.skip_angles(i)),
+                _ => i = next_code(self.tokens, i + 1),
+            }
+        }
+        i
+    }
+
+    /// Field list of a braced struct: `name: Type,` repeated.
+    fn scan_fields(&self, lo: usize, hi: usize, out: &mut FileIndex) {
+        let mut i = next_code(self.tokens, lo);
+        while i < hi {
+            // Skip attributes and visibility.
+            match self.text(i) {
+                "#" => {
+                    let j = next_code(self.tokens, i + 1);
+                    if j < hi && self.text(j) == "[" && self.close[j] != usize::MAX {
+                        i = next_code(self.tokens, self.close[j] + 1);
+                    } else {
+                        i = next_code(self.tokens, i + 1);
+                    }
+                    continue;
+                }
+                "pub" => {
+                    i = next_code(self.tokens, i + 1);
+                    if i < hi && self.text(i) == "(" {
+                        i = next_code(self.tokens, self.skip_matched(i));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            if self.tokens[i].kind != TokenKind::Ident {
+                i = next_code(self.tokens, i + 1);
+                continue;
+            }
+            let name = self.text(i).to_string();
+            let colon = next_code(self.tokens, i + 1);
+            if colon >= hi || self.text(colon) != ":" {
+                i = next_code(self.tokens, i + 1);
+                continue;
+            }
+            // Type runs to the next `,` at this level (or the end).
+            let mut j = next_code(self.tokens, colon + 1);
+            let mut is_hash = false;
+            while j < hi {
+                match self.text(j) {
+                    "," => break,
+                    "(" | "[" | "{" => j = self.skip_matched(j),
+                    "<" => {
+                        // Angle contents count: `Vec<HashMap<…>>` is a
+                        // hash-bearing type too.
+                        j += 1;
+                    }
+                    "HashMap" | "HashSet" => {
+                        is_hash = true;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            if is_hash {
+                out.hash_fields.push(name);
+            }
+            i = next_code(self.tokens, j + 1);
+        }
+    }
+
+    /// `impl … Type {}`, `impl Trait for Type {}`, `trait Name {}` —
+    /// names the scope and recurses into the body for methods.
+    fn scan_impl_or_trait(
+        &self,
+        at: usize,
+        hi: usize,
+        path: &mut Vec<String>,
+        in_test: bool,
+        out: &mut FileIndex,
+    ) -> usize {
+        let mut i = next_code(self.tokens, at + 1);
+        if i < hi && self.text(i) == "<" {
+            i = next_code(self.tokens, self.skip_angles(i));
+        }
+        let mut first_ident: Option<String> = None;
+        let mut after_for: Option<String> = None;
+        let mut saw_for = false;
+        while i < hi {
+            match self.text(i) {
+                "{" => {
+                    let name = after_for.or(first_ident).unwrap_or_default();
+                    if self.close[i] != usize::MAX {
+                        path.push(name);
+                        self.scan_items(i + 1, self.close[i], path, in_test, out);
+                        path.pop();
+                        return next_code(self.tokens, self.close[i] + 1);
+                    }
+                    return i + 1;
+                }
+                ";" => return next_code(self.tokens, i + 1),
+                "for" => {
+                    saw_for = true;
+                    i = next_code(self.tokens, i + 1);
+                }
+                "<" => i = next_code(self.tokens, self.skip_angles(i)),
+                "(" | "[" => i = next_code(self.tokens, self.skip_matched(i)),
+                _ => {
+                    if self.tokens[i].kind == TokenKind::Ident {
+                        let t = self.text(i).to_string();
+                        if saw_for && after_for.is_none() {
+                            after_for = Some(t);
+                        } else if first_ident.is_none() {
+                            first_ident = Some(t);
+                        }
+                    }
+                    i = next_code(self.tokens, i + 1);
+                }
+            }
+        }
+        i
+    }
+
+    /// One `fn` item: records it and recurses into the body (nested
+    /// fns become their own entries).
+    fn scan_fn(
+        &self,
+        at: usize,
+        hi: usize,
+        path: &mut Vec<String>,
+        in_test: bool,
+        attr_test: bool,
+        out: &mut FileIndex,
+    ) -> usize {
+        let name_at = next_code(self.tokens, at + 1);
+        if name_at >= hi || self.tokens[name_at].kind != TokenKind::Ident {
+            // `fn(…)` pointer type in a signature — not an item.
+            return next_code(self.tokens, at + 1);
+        }
+        let name = self.text(name_at).to_string();
+        let mut i = next_code(self.tokens, name_at + 1);
+        if i < hi && self.text(i) == "<" {
+            i = next_code(self.tokens, self.skip_angles(i));
+        }
+        // Argument list.
+        let args = (i < hi && self.text(i) == "(").then(|| (i, self.close[i]));
+        if let Some((open, close)) = args {
+            if close != usize::MAX {
+                i = next_code(self.tokens, close + 1);
+            } else {
+                i = next_code(self.tokens, open + 1);
+            }
+        }
+        // Return type and where clause: run to the body `{` or a `;`.
+        let mut body = None;
+        while i < hi {
+            match self.text(i) {
+                "{" => {
+                    if self.close[i] != usize::MAX {
+                        body = Some((i + 1, self.close[i]));
+                    }
+                    break;
+                }
+                ";" => break,
+                "<" => i = next_code(self.tokens, self.skip_angles(i)),
+                "(" | "[" => i = next_code(self.tokens, self.skip_matched(i)),
+                _ => i = next_code(self.tokens, i + 1),
+            }
+        }
+        let mut qual = path.join("::");
+        if !qual.is_empty() {
+            qual.push_str("::");
+        }
+        qual.push_str(&name);
+        let is_test = in_test || attr_test;
+        let calls = body.map_or_else(Vec::new, |(lo, hi)| self.collect_calls(lo, hi));
+        let hash_locals = self.collect_hash_locals(args, body);
+        out.fns.push(FnInfo {
+            name,
+            qual,
+            line: self.lines.line(self.tokens[at].start),
+            body,
+            fn_token: at,
+            is_test,
+            calls,
+            hash_locals,
+        });
+        match body {
+            Some((_, body_close)) => {
+                self.scan_items(body.map_or(0, |(lo, _)| lo), body_close, path, is_test, out);
+                next_code(self.tokens, body_close + 1)
+            }
+            None => next_code(self.tokens, i + 1),
+        }
+    }
+
+    /// Called names inside a body: `name(`, `.name(`, `name!(`.
+    fn collect_calls(&self, lo: usize, hi: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut i = next_code(self.tokens, lo);
+        while i < hi {
+            if self.tokens[i].kind == TokenKind::Ident && !NOT_CALLS.contains(&self.text(i)) {
+                let mut n = next_code(self.tokens, i + 1);
+                if n < hi && self.text(n) == "!" {
+                    n = next_code(self.tokens, n + 1);
+                }
+                if n < hi && matches!(self.text(n), "(" | "{" | "[")
+                    // `name![…]` / `name!{…}` count; plain `name[…]` and
+                    // `name{…}` (indexing, struct literals) do not.
+                    && (self.text(n) == "("
+                        || self.text(next_code(self.tokens, i + 1)) == "!")
+                {
+                    out.push(self.text(i).to_string());
+                }
+            }
+            i = next_code(self.tokens, i + 1);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Hash-typed names in scope of one fn: parameters whose type
+    /// mentions `HashMap`/`HashSet`, and `let` bindings whose statement
+    /// does.
+    fn collect_hash_locals(
+        &self,
+        args: Option<(usize, usize)>,
+        body: Option<(usize, usize)>,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some((open, close)) = args {
+            if close != usize::MAX {
+                let mut i = next_code(self.tokens, open + 1);
+                while i < close {
+                    if self.tokens[i].kind == TokenKind::Ident
+                        && next_code(self.tokens, i + 1) < close
+                        && self.text(next_code(self.tokens, i + 1)) == ":"
+                    {
+                        let name = self.text(i).to_string();
+                        let mut j = next_code(self.tokens, i + 1);
+                        let mut is_hash = false;
+                        while j < close {
+                            match self.text(j) {
+                                "," => break,
+                                "(" | "[" | "{" => j = self.skip_matched(j),
+                                "HashMap" | "HashSet" => {
+                                    is_hash = true;
+                                    j += 1;
+                                }
+                                _ => j += 1,
+                            }
+                        }
+                        if is_hash {
+                            out.push(name);
+                        }
+                        i = next_code(self.tokens, j + 1);
+                    } else {
+                        i = next_code(self.tokens, i + 1);
+                    }
+                }
+            }
+        }
+        if let Some((lo, hi)) = body {
+            let mut i = next_code(self.tokens, lo);
+            while i < hi {
+                if self.text(i) == "let" {
+                    let mut n = next_code(self.tokens, i + 1);
+                    if n < hi && self.text(n) == "mut" {
+                        n = next_code(self.tokens, n + 1);
+                    }
+                    if n < hi && self.tokens[n].kind == TokenKind::Ident {
+                        let name = self.text(n).to_string();
+                        // Scan the whole statement for a hash type.
+                        let mut j = next_code(self.tokens, n + 1);
+                        let mut is_hash = false;
+                        while j < hi {
+                            match self.text(j) {
+                                ";" => break,
+                                "(" | "[" | "{" => j = self.skip_matched(j),
+                                "HashMap" | "HashSet" => {
+                                    is_hash = true;
+                                    j += 1;
+                                }
+                                _ => j += 1,
+                            }
+                        }
+                        if is_hash {
+                            out.push(name);
+                        }
+                        i = next_code(self.tokens, j + 1);
+                        continue;
+                    }
+                }
+                i = next_code(self.tokens, i + 1);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> FileIndex {
+        let tokens = lex(src);
+        let lines = LineIndex::new(src);
+        parse(src, &tokens, &lines)
+    }
+
+    #[test]
+    fn finds_fns_with_paths_and_tests() {
+        let idx = parsed(
+            r#"
+            pub fn top() { helper(1); }
+            mod inner {
+                impl Widget {
+                    fn method(&self) -> Result<(), E> { self.draw(); }
+                }
+                impl Display for Widget {
+                    fn fmt(&self) {}
+                }
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn check() { top(); }
+            }
+            trait T { fn decl(&self); fn defaulted(&self) { self.decl(); } }
+            "#,
+        );
+        let names: Vec<(&str, bool)> = idx
+            .fns
+            .iter()
+            .map(|f| (f.qual.as_str(), f.is_test))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("top", false),
+                ("inner::Widget::method", false),
+                ("inner::Widget::fmt", false),
+                ("tests::check", true),
+                ("T::decl", false),
+                ("T::defaulted", false),
+            ]
+        );
+        assert_eq!(idx.fns[0].calls, vec!["helper"]);
+        assert_eq!(idx.fns[1].calls, vec!["draw"]);
+        assert!(idx.fns[4].body.is_none(), "trait decl has no body");
+        assert_eq!(idx.fns[5].calls, vec!["decl"]);
+    }
+
+    #[test]
+    fn nested_fn_is_its_own_item() {
+        let idx = parsed("fn outer() { fn inner() { leaf(); } inner(); }");
+        let names: Vec<&str> = idx.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        // The outer body range covers the inner body, so outer's calls
+        // include inner's (a documented conservative approximation).
+        assert!(idx.fns[0].calls.contains(&"inner".to_string()));
+        assert!(idx.fns[0].calls.contains(&"leaf".to_string()));
+    }
+
+    #[test]
+    fn hash_fields_and_locals() {
+        let idx = parsed(
+            r#"
+            struct S {
+                files: HashMap<String, Vec<u8>>,
+                table: Vec<Option<u32>>,
+                names: std::collections::HashSet<u64>,
+            }
+            fn f(seen: &HashSet<u64>, v: &[u8]) {
+                let mut m: HashMap<u32, u32> = HashMap::new();
+                let also = std::collections::HashMap::new();
+                let plain = Vec::new();
+            }
+            "#,
+        );
+        assert_eq!(idx.hash_fields, vec!["files", "names"]);
+        let f = &idx.fns[0];
+        assert_eq!(f.hash_locals, vec!["also", "m", "seen"]);
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_an_item() {
+        let idx = parsed("fn real(cb: fn(u32) -> u32) { cb(1); }");
+        assert_eq!(idx.fns.len(), 1);
+        assert_eq!(idx.fns[0].name, "real");
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_innermost() {
+        let src = "fn outer() { fn inner() { leaf(); } }";
+        let tokens = lex(src);
+        let lines = LineIndex::new(src);
+        let idx = parse(src, &tokens, &lines);
+        let leaf_at = tokens
+            .iter()
+            .position(|t| t.text(src) == "leaf")
+            .expect("leaf token");
+        assert_eq!(
+            idx.enclosing_fn(leaf_at).map(|f| f.name.as_str()),
+            Some("inner")
+        );
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test() {
+        let idx = parsed("#[cfg(not(test))] fn prod() {}");
+        assert!(!idx.fns[0].is_test);
+    }
+}

@@ -1,0 +1,481 @@
+//! The rule engine: five rules, each grounded in a bug this repo
+//! actually shipped (or nearly shipped) before the tooling existed.
+//!
+//! * `wall-clock` — `SystemTime` / `Instant::now` / `thread_rng` outside
+//!   the allowlisted campaign drivers. Successor of the `grep` lint in
+//!   `ci.sh`, now lexer-accurate: names inside strings and comments no
+//!   longer count, names split across lines cannot hide.
+//! * `unordered-iteration` — iterating a `HashMap`/`HashSet` in
+//!   deterministic scope. Hash order is seeded per process; anything it
+//!   feeds diverges between serial and sharded runs. This mechanizes the
+//!   PR 5 audit comments.
+//! * `panic-in-recovery` — `unwrap`/`expect`/`panic!`-family/indexing in
+//!   the recovery and wire-decode closures. Those paths read
+//!   fault-corrupted bytes by design and must fail-stop with
+//!   `Corrupt{offset, detail}`-style errors: the Save-work/Lose-work
+//!   oracles only judge runs that terminate cleanly.
+//! * `unchecked-arith-in-decode` — bare `+`/`-`/`*` in the same
+//!   closures. Attacker-shaped lengths and offsets must go through
+//!   `checked_`/`saturating_`/`wrapping_` ops (the PR 2/PR 8
+//!   debug-overflow bugs were exactly this class).
+//! * `float-in-fingerprint` — float types or literals inside
+//!   fingerprint/digest/checksum functions. Float arithmetic is not
+//!   associative; folding it into a fingerprint breaks serial↔sharded
+//!   bitwise equivalence. The shortest-round-trip JSON emitter is the
+//!   one exempted place floats may be rendered.
+
+use crate::lexer::{LineIndex, Token, TokenKind};
+use crate::parse::{next_code, prev_code, FileIndex, FnInfo};
+
+/// One rule hit, pre-suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (see [`crate::scope::RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable diagnosis.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Everything the rules need to know about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path.
+    pub rel: &'a str,
+    /// Full source.
+    pub src: &'a str,
+    /// Full token stream.
+    pub tokens: &'a [Token],
+    /// Line lookup.
+    pub lines: &'a LineIndex,
+    /// Parsed items.
+    pub index: &'a FileIndex,
+    /// Campaign driver (wall-clock et al. permitted).
+    pub is_driver: bool,
+    /// JSON-emitter exemption for `float-in-fingerprint`.
+    pub is_emitter: bool,
+    /// Lives under `tests/`, `benches/`, or `examples/`.
+    pub is_test_path: bool,
+    /// Per-fn recovery-scope marks, parallel to `index.fns`.
+    pub recovery: &'a [bool],
+}
+
+/// Methods whose call on a hash container observes its order.
+const ITER_METHODS: &[&str] = &[
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "iter",
+    "iter_mut",
+    "keys",
+    "retain",
+    "values",
+    "values_mut",
+];
+
+/// Panicking macros (with or without the `debug_` prefix: debug and
+/// release builds must behave identically in this workspace).
+const PANIC_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "panic",
+    "todo",
+    "unimplemented",
+    "unreachable",
+];
+
+/// Panicking methods.
+const PANIC_METHODS: &[&str] = &["expect", "expect_err", "unwrap", "unwrap_err"];
+
+/// Identifier-kind tokens that sit before a genuinely *unary* `-`/`*`
+/// even though they lex as idents.
+const UNARY_CONTEXT_WORDS: &[&str] = &[
+    "as", "break", "dyn", "else", "if", "impl", "in", "match", "move", "mut", "ref", "return",
+    "where",
+];
+
+/// Function-name markers that place a fn in fingerprint scope.
+const FINGERPRINT_MARKERS: &[&str] = &["checksum", "digest", "fingerprint", "fnv", "hash"];
+
+/// Runs every rule over one file.
+pub fn run(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    wall_clock(ctx, &mut out);
+    unordered_iteration(ctx, &mut out);
+    recovery_rules(ctx, &mut out);
+    float_in_fingerprint(ctx, &mut out);
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+fn snippet(ctx: &FileCtx<'_>, offset: usize) -> String {
+    let start = ctx.src[..offset].rfind('\n').map_or(0, |i| i + 1);
+    let end = ctx.src[offset..]
+        .find('\n')
+        .map_or(ctx.src.len(), |i| offset + i);
+    let line = ctx.src[start..end].trim();
+    let mut s: String = line.chars().take(96).collect();
+    if s.len() < line.len() {
+        s.push('…');
+    }
+    s
+}
+
+fn finding(ctx: &FileCtx<'_>, rule: &'static str, at: usize, message: String) -> Finding {
+    let (line, col) = ctx.lines.line_col(at);
+    Finding {
+        rule,
+        file: ctx.rel.to_string(),
+        line,
+        col,
+        message,
+        snippet: snippet(ctx, at),
+    }
+}
+
+/// `SystemTime`, `Instant::now`, `thread_rng` anywhere outside driver
+/// files (test code included: a wall-clock read in a test makes its
+/// assertions time-dependent).
+fn wall_clock(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_driver {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text(ctx.src) {
+            "SystemTime" | "thread_rng" => {
+                let name = t.text(ctx.src);
+                out.push(finding(
+                    ctx,
+                    "wall-clock",
+                    t.start,
+                    format!(
+                        "`{name}` outside driver scope: simulated results must be a pure \
+                         function of the seed"
+                    ),
+                ));
+            }
+            "Instant" => {
+                let colons = next_code(ctx.tokens, i + 1);
+                let now = next_code(ctx.tokens, colons.saturating_add(1));
+                if colons < ctx.tokens.len()
+                    && ctx.tokens[colons].text(ctx.src) == "::"
+                    && now < ctx.tokens.len()
+                    && ctx.tokens[now].text(ctx.src) == "now"
+                {
+                    out.push(finding(
+                        ctx,
+                        "wall-clock",
+                        t.start,
+                        "`Instant::now` outside driver scope: simulated results must be a \
+                         pure function of the seed"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Iteration over `HashMap`/`HashSet` receivers in deterministic scope.
+fn unordered_iteration(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_driver || ctx.is_test_path {
+        return;
+    }
+    for f in &ctx.index.fns {
+        if f.is_test {
+            continue;
+        }
+        let Some((lo, hi)) = f.body else { continue };
+        let in_names = |name: &str| {
+            ctx.index.hash_fields.iter().any(|n| n == name)
+                || f.hash_locals.iter().any(|n| n == name)
+        };
+        let mut i = next_code(ctx.tokens, lo);
+        while i < hi {
+            let txt = ctx.tokens[i].text(ctx.src);
+            // `recv.iter()` — walk back over the dot to the receiver.
+            if ctx.tokens[i].kind == TokenKind::Ident && ITER_METHODS.contains(&txt) {
+                if let Some(dot) = prev_code(ctx.tokens, i) {
+                    let open = next_code(ctx.tokens, i + 1);
+                    if ctx.tokens[dot].text(ctx.src) == "."
+                        && open < ctx.tokens.len()
+                        && ctx.tokens[open].text(ctx.src) == "("
+                    {
+                        if let Some(recv) = prev_code(ctx.tokens, dot) {
+                            let rt = ctx.tokens[recv].text(ctx.src);
+                            if ctx.tokens[recv].kind == TokenKind::Ident && in_names(rt) {
+                                out.push(finding(
+                                    ctx,
+                                    "unordered-iteration",
+                                    ctx.tokens[i].start,
+                                    format!(
+                                        "`.{txt}()` on unordered `{rt}` in deterministic scope: \
+                                         hash order is per-process; sort, or use BTreeMap/BTreeSet"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            // `for pat in expr {` — hash names used bare in the expr.
+            if txt == "for" && ctx.tokens[i].kind == TokenKind::Ident {
+                let nxt = next_code(ctx.tokens, i + 1);
+                if nxt < hi && ctx.tokens[nxt].text(ctx.src) == "<" {
+                    i = next_code(ctx.tokens, i + 1);
+                    continue; // HRTB `for<'a>`
+                }
+                // Find `in`, then scan to the loop body `{`.
+                let mut j = nxt;
+                let mut in_at = None;
+                while j < hi {
+                    match ctx.tokens[j].text(ctx.src) {
+                        "in" => {
+                            in_at = Some(j);
+                            break;
+                        }
+                        "{" | ";" => break,
+                        "(" | "[" => j = skip(ctx, j),
+                        _ => j = next_code(ctx.tokens, j + 1),
+                    }
+                }
+                if let Some(in_at) = in_at {
+                    let mut j = next_code(ctx.tokens, in_at + 1);
+                    while j < hi {
+                        let jt = ctx.tokens[j].text(ctx.src);
+                        match jt {
+                            "{" | ";" => break,
+                            "(" | "[" => {
+                                j = skip(ctx, j);
+                                continue;
+                            }
+                            _ => {}
+                        }
+                        if ctx.tokens[j].kind == TokenKind::Ident && in_names(jt) {
+                            let after = next_code(ctx.tokens, j + 1);
+                            let a = ctx.tokens.get(after).map_or("", |t| t.text(ctx.src));
+                            // `m[..]` indexes a value out; `m.keys()` is
+                            // handled by the method arm above.
+                            if a != "[" && a != "." {
+                                out.push(finding(
+                                    ctx,
+                                    "unordered-iteration",
+                                    ctx.tokens[j].start,
+                                    format!(
+                                        "`for … in` over unordered `{jt}` in deterministic \
+                                         scope: hash order is per-process; sort, or use \
+                                         BTreeMap/BTreeSet"
+                                    ),
+                                ));
+                            }
+                        }
+                        j = next_code(ctx.tokens, j + 1);
+                    }
+                }
+            }
+            i = next_code(ctx.tokens, i + 1);
+        }
+    }
+}
+
+/// `panic-in-recovery` + `unchecked-arith-in-decode`, both scoped to the
+/// recovery closure.
+fn recovery_rules(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for (fi, f) in ctx.index.fns.iter().enumerate() {
+        if f.is_test || !ctx.recovery.get(fi).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some((lo, hi)) = f.body else { continue };
+        let mut i = next_code(ctx.tokens, lo);
+        while i < hi {
+            let t = &ctx.tokens[i];
+            let txt = t.text(ctx.src);
+            if t.kind == TokenKind::Ident {
+                // `.unwrap()` / `.expect(…)`.
+                if PANIC_METHODS.contains(&txt) {
+                    let dot_ok = prev_code(ctx.tokens, i)
+                        .is_some_and(|p| ctx.tokens[p].text(ctx.src) == ".");
+                    let open = next_code(ctx.tokens, i + 1);
+                    if dot_ok && open < ctx.tokens.len() && ctx.tokens[open].text(ctx.src) == "(" {
+                        out.push(finding(
+                            ctx,
+                            "panic-in-recovery",
+                            t.start,
+                            format!(
+                                "`.{txt}()` in recovery scope `{}`: corrupted input must \
+                                 fail-stop with a Corrupt-style error, not panic",
+                                f.qual
+                            ),
+                        ));
+                    }
+                }
+                // `panic!(…)`-family macros.
+                if PANIC_MACROS.contains(&txt) {
+                    let bang = next_code(ctx.tokens, i + 1);
+                    if bang < ctx.tokens.len() && ctx.tokens[bang].text(ctx.src) == "!" {
+                        out.push(finding(
+                            ctx,
+                            "panic-in-recovery",
+                            t.start,
+                            format!(
+                                "`{txt}!` in recovery scope `{}`: corrupted input must \
+                                 fail-stop with a Corrupt-style error, not panic",
+                                f.qual
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Indexing without `get`: `expr[…]` panics on out-of-range.
+            if txt == "[" {
+                if let Some(p) = prev_code(ctx.tokens, i) {
+                    let pt = ctx.tokens[p].text(ctx.src);
+                    if (ctx.tokens[p].kind == TokenKind::Ident
+                        && !UNARY_CONTEXT_WORDS.contains(&pt)
+                        && !PANIC_MACROS.contains(&pt))
+                        || pt == ")"
+                        || pt == "]"
+                    {
+                        // Macro square-bracket args (`vec![…]`) have a
+                        // `!` before the bracket and are excluded by the
+                        // ident check above (prev is `!`).
+                        out.push(finding(
+                            ctx,
+                            "panic-in-recovery",
+                            t.start,
+                            format!(
+                                "indexing without `get` in recovery scope `{}`: out-of-range \
+                                 must fail-stop, not panic",
+                                f.qual
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Bare arithmetic on untrusted offsets/lengths.
+            if matches!(txt, "+" | "-" | "*" | "+=" | "-=" | "*=") {
+                if let Some(p) = prev_code(ctx.tokens, i) {
+                    let pt = ctx.tokens[p].text(ctx.src);
+                    let binary = matches!(ctx.tokens[p].kind, TokenKind::Ident | TokenKind::Num)
+                        && !UNARY_CONTEXT_WORDS.contains(&pt)
+                        || pt == ")"
+                        || pt == "]";
+                    if binary {
+                        out.push(finding(
+                            ctx,
+                            "unchecked-arith-in-decode",
+                            t.start,
+                            format!(
+                                "bare `{txt}` in decode scope `{}`: offsets and lengths from \
+                                 fault-corrupted bytes need checked_/saturating_/wrapping_ ops",
+                                f.qual
+                            ),
+                        ));
+                    }
+                }
+            }
+            i = next_code(ctx.tokens, i + 1);
+        }
+    }
+}
+
+/// Float types or literals inside fingerprint-scope functions.
+fn float_in_fingerprint(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_driver || ctx.is_emitter || ctx.is_test_path {
+        return;
+    }
+    for f in &ctx.index.fns {
+        if f.is_test || !is_fingerprint_fn(f) {
+            continue;
+        }
+        // Signature included: an `-> f64` fingerprint is just as wrong.
+        let hi = f.body.map_or(f.fn_token + 1, |(_, h)| h);
+        let mut i = f.fn_token;
+        while i < hi {
+            let t = &ctx.tokens[i];
+            let txt = t.text(ctx.src);
+            let is_float_ident = t.kind == TokenKind::Ident && (txt == "f64" || txt == "f32");
+            let is_float_num = t.kind == TokenKind::Num && num_is_float(txt);
+            if is_float_ident || is_float_num {
+                out.push(finding(
+                    ctx,
+                    "float-in-fingerprint",
+                    t.start,
+                    format!(
+                        "float `{txt}` in fingerprint scope `{}`: float arithmetic is not \
+                         associative and breaks serial↔sharded bitwise equivalence; hash \
+                         integer encodings (or to_bits) instead",
+                        f.qual
+                    ),
+                ));
+            }
+            i = next_code(ctx.tokens, i + 1);
+        }
+    }
+}
+
+fn is_fingerprint_fn(f: &FnInfo) -> bool {
+    FINGERPRINT_MARKERS.iter().any(|m| f.name.contains(m))
+}
+
+/// Whether a numeric literal is a float (`1.5`, `1.`, `1e3`, `2f64`).
+fn num_is_float(text: &str) -> bool {
+    let lower = text.as_bytes();
+    if text.len() >= 2
+        && lower[0] == b'0'
+        && matches!(lower[1], b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+    {
+        return false;
+    }
+    if text.contains('.') || text.ends_with("f32") || text.ends_with("f64") {
+        return true;
+    }
+    // Exponent: `e`/`E` followed by a digit or sign (`usize` suffixes
+    // contain an `e` but never a digit after it).
+    text.bytes()
+        .zip(text.bytes().skip(1))
+        .any(|(a, b)| matches!(a, b'e' | b'E') && (b.is_ascii_digit() || b == b'+' || b == b'-'))
+}
+
+/// Jumps over a matched delimiter (re-deriving the close map locally
+/// would be wasteful; a linear forward scan with depth works because
+/// rule bodies are small).
+fn skip(ctx: &FileCtx<'_>, open: usize) -> usize {
+    let open_txt = ctx.tokens[open].text(ctx.src);
+    let close_txt = match open_txt {
+        "(" => ")",
+        "[" => "]",
+        "{" => "}",
+        _ => return open + 1,
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < ctx.tokens.len() {
+        let t = ctx.tokens[i].text(ctx.src);
+        if t == open_txt {
+            depth += 1;
+        } else if t == close_txt {
+            depth -= 1;
+            if depth == 0 {
+                return next_code(ctx.tokens, i + 1);
+            }
+        }
+        i += 1;
+    }
+    i
+}

@@ -1,0 +1,160 @@
+//! Structured per-line suppressions.
+//!
+//! Grammar (one per comment):
+//!
+//! ```text
+//! // ft-lint: allow(<rule>): <non-empty reason>
+//! ```
+//!
+//! A trailing comment suppresses findings of `<rule>` on its own line; a
+//! comment alone on a line suppresses the line below it. Unknown rules,
+//! missing reasons, and stray `ft-lint:` markers are reported as
+//! `bad-suppression`; a suppression that matched nothing is reported as
+//! `unused-suppression` — dead excuses rot into cover for real bugs,
+//! which is exactly how the old allowlist file failed.
+
+use crate::lexer::{LineIndex, Token, TokenKind};
+
+/// One parsed suppression.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule identifier being allowed.
+    pub rule: String,
+    /// 1-based line of the comment itself.
+    pub comment_line: usize,
+    /// 1-based line whose findings it suppresses.
+    pub applies_line: usize,
+    /// The stated justification (guaranteed non-empty).
+    pub reason: String,
+}
+
+/// A malformed suppression marker.
+#[derive(Debug, Clone)]
+pub struct BadSuppression {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Extracts suppressions (and malformed markers) from a file's comments.
+pub fn collect(
+    src: &str,
+    tokens: &[Token],
+    lines: &LineIndex,
+) -> (Vec<Suppression>, Vec<BadSuppression>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = t.text(src);
+        // Doc comments (`///`, `//!`) are documentation, not directives —
+        // they may *describe* the suppression grammar without enacting it.
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        let Some(marker_at) = text.find("ft-lint:") else {
+            continue;
+        };
+        let (line, _col) = lines.line_col(t.start);
+        let body = text[marker_at + "ft-lint:".len()..].trim();
+        match parse_allow(body) {
+            Ok((rule, reason)) => {
+                if !crate::scope::is_rule(&rule) {
+                    bad.push(BadSuppression {
+                        line,
+                        message: format!("unknown rule `{rule}` in suppression"),
+                    });
+                    continue;
+                }
+                // A comment with only whitespace before it on its line
+                // applies to the next line; a trailing comment applies
+                // to its own.
+                let standalone = src[..t.start]
+                    .rfind('\n')
+                    .map_or(&src[..t.start], |nl| &src[nl + 1..t.start])
+                    .trim()
+                    .is_empty();
+                ok.push(Suppression {
+                    rule,
+                    comment_line: line,
+                    applies_line: if standalone { line + 1 } else { line },
+                    reason,
+                });
+            }
+            Err(msg) => bad.push(BadSuppression { line, message: msg }),
+        }
+    }
+    (ok, bad)
+}
+
+/// Parses `allow(<rule>): <reason>`.
+fn parse_allow(body: &str) -> Result<(String, String), String> {
+    let rest = body
+        .strip_prefix("allow(")
+        .ok_or_else(|| "expected `ft-lint: allow(<rule>): <reason>`".to_string())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed `(` in suppression".to_string())?;
+    let rule = rest[..close].trim().to_string();
+    let after = rest[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix(':')
+        .ok_or_else(|| "missing `: <reason>` after allow(…)".to_string())?
+        .trim();
+    if reason.is_empty() {
+        return Err("suppression reason must be non-empty".to_string());
+    }
+    Ok((rule, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> (Vec<Suppression>, Vec<BadSuppression>) {
+        let tokens = lex(src);
+        collect(src, &tokens, &LineIndex::new(src))
+    }
+
+    #[test]
+    fn trailing_and_standalone_lines() {
+        let src = "\
+let a = m.iter(); // ft-lint: allow(unordered-iteration): sorted below
+// ft-lint: allow(wall-clock): driver-only timing
+let t = now();
+";
+        let (ok, bad) = run(src);
+        assert!(bad.is_empty());
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[0].rule, "unordered-iteration");
+        assert_eq!(ok[0].applies_line, 1);
+        assert_eq!(ok[1].rule, "wall-clock");
+        assert_eq!(ok[1].applies_line, 3);
+        assert_eq!(ok[1].reason, "driver-only timing");
+    }
+
+    #[test]
+    fn malformed_markers_are_reported() {
+        let cases = [
+            "// ft-lint: allow(wall-clock)",            // missing reason
+            "// ft-lint: allow(wall-clock):   ",        // empty reason
+            "// ft-lint: allow(no-such-rule): because", // unknown rule
+            "// ft-lint: disable(wall-clock): x",       // wrong verb
+        ];
+        for src in cases {
+            let (ok, bad) = run(src);
+            assert!(ok.is_empty(), "{src}");
+            assert_eq!(bad.len(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn markers_in_strings_do_not_count() {
+        let (ok, bad) = run(r#"let s = "ft-lint: allow(wall-clock): nope";"#);
+        assert!(ok.is_empty() && bad.is_empty());
+    }
+}

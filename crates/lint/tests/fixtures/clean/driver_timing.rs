@@ -1,0 +1,9 @@
+//! Clean twin: a campaign driver may read the wall clock — its report
+//! carries real timings by design, and no simulated result derives
+//! from it. The fixture config lists this file as a driver.
+
+use std::time::Instant;
+
+pub fn wall_ms() -> u128 {
+    Instant::now().elapsed().as_millis()
+}

@@ -1,0 +1,10 @@
+//! Clean twin: the fingerprint folds integers (FNV-1a), no floats.
+
+pub fn fingerprint_load(samples: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in samples {
+        h ^= *s;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,10 @@
+//! Clean twin: decode fail-stops with an error instead of panicking.
+
+pub fn open(bytes: &[u8]) -> Result<u32, ()> {
+    header(bytes)
+}
+
+fn header(bytes: &[u8]) -> Result<u32, ()> {
+    let tag = bytes.first().copied().ok_or(())?;
+    Ok(u32::from(tag))
+}

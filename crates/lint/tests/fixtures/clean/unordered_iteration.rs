@@ -1,0 +1,11 @@
+//! Clean twin: an ordered map makes iteration deterministic.
+
+use std::collections::BTreeMap;
+
+pub fn merge_counts(counts: &BTreeMap<String, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in counts {
+        total = total.wrapping_add(*v);
+    }
+    total
+}

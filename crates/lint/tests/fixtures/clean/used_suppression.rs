@@ -1,0 +1,12 @@
+//! Clean twin: a violation with an honest, *used* excuse.
+
+use std::collections::HashMap;
+
+pub fn total(m: &HashMap<u32, u64>) -> u64 {
+    let mut acc = 0;
+    // ft-lint: allow(unordered-iteration): XOR-commutative fold, order cannot affect the result
+    for v in m.values() {
+        acc ^= *v;
+    }
+    acc
+}

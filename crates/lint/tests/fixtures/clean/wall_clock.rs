@@ -1,0 +1,5 @@
+//! Clean twin: time comes from the simulated clock, not the OS.
+
+pub fn step_duration(virtual_now_ns: u128, prev_ns: u128) -> u128 {
+    virtual_now_ns.saturating_sub(prev_ns)
+}

@@ -1,0 +1,7 @@
+//! Planted: malformed suppression markers.
+
+// ft-lint: allow(wall-clock)
+pub fn no_reason() {}
+
+// ft-lint: allow(no-such-rule): not a rule
+pub fn unknown_rule() {}

@@ -1,0 +1,6 @@
+//! Planted: float arithmetic folded into a fingerprint.
+
+pub fn fingerprint_load(samples: &[u64]) -> u64 {
+    let mean = samples.iter().copied().sum::<u64>() as f64;
+    (mean * 0.5) as u64
+}

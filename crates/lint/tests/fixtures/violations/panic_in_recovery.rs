@@ -1,0 +1,12 @@
+//! Planted: panicking decode reached from a recovery root. The panic
+//! sits in a *callee* of the root — finding it proves the call-graph
+//! closure, not just root matching.
+
+pub fn open(bytes: &[u8]) -> u32 {
+    header(bytes)
+}
+
+fn header(bytes: &[u8]) -> u32 {
+    let tag = bytes[0];
+    u32::from(tag)
+}

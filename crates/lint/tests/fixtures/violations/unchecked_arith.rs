@@ -1,0 +1,9 @@
+//! Planted: bare offset arithmetic in a callee of a decode root.
+
+pub fn open(buf: &[u8], off: usize, len: usize) -> usize {
+    span_end(buf, off, len)
+}
+
+fn span_end(_buf: &[u8], off: usize, len: usize) -> usize {
+    off + len
+}

@@ -1,0 +1,11 @@
+//! Planted: hash-order-dependent fold in deterministic scope.
+
+use std::collections::HashMap;
+
+pub fn merge_counts(counts: &HashMap<String, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in counts {
+        total = total.wrapping_add(*v);
+    }
+    total
+}

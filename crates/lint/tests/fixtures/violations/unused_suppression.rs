@@ -1,0 +1,6 @@
+//! Planted: a suppression whose excuse matches nothing.
+
+// ft-lint: allow(wall-clock): stale excuse kept after the fix
+pub fn quiet() -> u64 {
+    7
+}

@@ -1,0 +1,7 @@
+//! Planted: deterministic code reading the wall clock.
+
+use std::time::Instant;
+
+pub fn step_duration() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

@@ -227,7 +227,7 @@ impl Allocator {
         let mut word = |blob: &[u8]| -> Option<usize> {
             let b = blob.get(pos..pos + 8)?;
             pos += 8;
-            Some(u64::from_le_bytes(b.try_into().ok()?) as usize)
+            usize::try_from(u64::from_le_bytes(b.try_into().ok()?)).ok()
         };
         let heap_start = word(blob)?;
         let heap_end = word(blob)?;

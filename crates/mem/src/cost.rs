@@ -80,6 +80,10 @@ impl Default for DiskModel {
 
 impl DiskModel {
     /// Time to synchronously write `bytes` to the redo log.
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "bytes * 1e9 / bandwidth fits u64 for any realistic transfer (< ~584 years of ns)"
+    )]
     pub fn write_cost(&self, bytes: usize) -> Nanos {
         self.latency_ns
             + (bytes as u128 * 1_000_000_000 / self.bandwidth_bytes_per_sec as u128) as Nanos
@@ -87,6 +91,10 @@ impl DiskModel {
 
     /// Time to append a small log record: sequential, so most positioning
     /// is avoided.
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "bytes * 1e9 / bandwidth fits u64 for any realistic transfer (< ~584 years of ns)"
+    )]
     pub fn append_cost(&self, bytes: usize) -> Nanos {
         self.latency_ns / 4
             + (bytes as u128 * 1_000_000_000 / self.bandwidth_bytes_per_sec as u128) as Nanos
@@ -131,6 +139,10 @@ impl Default for DurableModel {
 
 impl DurableModel {
     /// Time to transfer `bytes` into the log.
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "bytes * 1e9 / bandwidth fits u64 for any realistic transfer (< ~584 years of ns)"
+    )]
     fn transfer_cost(&self, bytes: usize) -> Nanos {
         (bytes as u128 * 1_000_000_000 / self.bandwidth_bytes_per_sec as u128) as Nanos
     }

@@ -73,15 +73,27 @@ pub const FORMAT_VERSION: u32 = 1;
 const LOG_MAGIC: &[u8; 4] = b"FTDL";
 const CKPT_MAGIC: &[u8; 4] = b"FTDC";
 /// Log header: magic(4) ver(4) layout(24) base_seq(8) crc(4).
-pub const LOG_HEADER_LEN: u64 = 44;
+const LOG_HEADER_BYTES: usize = 44;
+/// Log header length as a file offset (u64 twin of [`LOG_HEADER_BYTES`]).
+pub const LOG_HEADER_LEN: u64 = LOG_HEADER_BYTES as u64;
+
+/// Byte offset of the log-header CRC within the header.
+const LOG_HEADER_CRC_AT: usize = LOG_HEADER_BYTES - 4;
 /// Record frame prefix: len(4) crc(4).
 const FRAME_PREFIX: usize = 8;
 const TAG_COMMIT: u8 = 1;
 /// Payload prefix: tag(1) seq(8) npages(4).
 const PAYLOAD_PREFIX: usize = 13;
 
+/// Bytes per page entry in a commit payload: u32 page index + image.
+const PAGE_ENTRY_LEN: usize = 4 + PAGE_SIZE;
+
 // CRC32 (IEEE 802.3, polynomial 0xEDB88320), table-driven. In-repo
 // because the workspace builds without external crates.
+#[expect(
+    clippy::cast_possible_truncation,
+    reason = "i < 256; u32::try_from is not callable in const fn"
+)]
 const fn crc32_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0usize;
@@ -109,6 +121,7 @@ const CRC_TABLE: [u32; 256] = crc32_table();
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = !0u32;
     for &b in bytes {
+        // ft-lint: allow(panic-in-recovery): index is masked to 8 bits, provably inside the 256-entry table
         c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
@@ -407,7 +420,10 @@ impl DurableStore {
         if let Some(c) = &ckpt {
             arena
                 .write(0, &c.image)
-                .expect("checkpoint image sized by layout");
+                .map_err(|_| DurableError::Corrupt {
+                    offset: 40,
+                    detail: "checkpoint image does not fit the arena layout".to_string(),
+                })?;
         }
 
         // Replay the longest valid record prefix.
@@ -416,7 +432,7 @@ impl DurableStore {
         let mut replayed = 0u64;
         let mut skipped = 0u64;
         if !torn_header {
-            let mut off = LOG_HEADER_LEN as usize;
+            let mut off = LOG_HEADER_BYTES;
             loop {
                 match scan_frame(&raw, off, check_crc) {
                     FrameScan::End | FrameScan::Torn => break,
@@ -424,17 +440,26 @@ impl DurableStore {
                         return Err(DurableError::Corrupt { offset, detail });
                     }
                     FrameScan::Record { payload, next } => {
-                        expected += 1;
+                        expected = expected.saturating_add(1);
                         let rec = parse_commit_payload(payload, off as u64, expected, layout)?;
                         if rec.seq > ckpt_seq {
                             for (page, image) in &rec.pages {
-                                arena
-                                    .write(page * PAGE_SIZE, image)
-                                    .expect("page index validated against layout");
+                                let dst = page.checked_mul(PAGE_SIZE).ok_or_else(|| {
+                                    DurableError::Corrupt {
+                                        offset: off as u64,
+                                        detail: format!("page index {page} overflows the arena"),
+                                    }
+                                })?;
+                                arena.write(dst, image).map_err(|_| DurableError::Corrupt {
+                                    offset: off as u64,
+                                    detail: format!(
+                                        "replay write of page {page} rejected by the arena"
+                                    ),
+                                })?;
                             }
-                            replayed += 1;
+                            replayed = replayed.saturating_add(1);
                         } else {
-                            skipped += 1;
+                            skipped = skipped.saturating_add(1);
                         }
                         seq = seq.max(rec.seq);
                         valid_end = next as u64;
@@ -445,7 +470,7 @@ impl DurableStore {
         }
 
         let file_len = raw.len() as u64;
-        let truncated_bytes = file_len - valid_end.min(file_len);
+        let truncated_bytes = file_len.saturating_sub(valid_end);
         let append_at = if truncated_bytes > 0 && opts.mutation != DurableMutation::SkipTailTruncate
         {
             log.set_len(valid_end)?;
@@ -543,6 +568,10 @@ impl DurableStore {
     /// dirty set, without touching the log or the arena. Pages are
     /// encoded in ascending index order, so equal states produce equal
     /// bytes regardless of write order.
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "page counts and indices are bounded by the arena size (< 2^32 pages); the format stores them as u32"
+    )]
     pub fn stage_commit(&self) -> StagedCommit {
         let pages = self.arena.dirty_page_indices();
         let mut payload = Vec::with_capacity(PAYLOAD_PREFIX + pages.len() * (4 + PAGE_SIZE));
@@ -740,7 +769,7 @@ fn encode_layout(out: &mut Vec<u8>, layout: Layout) {
 }
 
 fn encode_log_header(layout: Layout, base_seq: u64) -> Vec<u8> {
-    let mut h = Vec::with_capacity(LOG_HEADER_LEN as usize);
+    let mut h = Vec::with_capacity(LOG_HEADER_BYTES);
     h.extend_from_slice(LOG_MAGIC);
     h.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     encode_layout(&mut h, layout);
@@ -750,6 +779,10 @@ fn encode_log_header(layout: Layout, base_seq: u64) -> Vec<u8> {
     h
 }
 
+#[expect(
+    clippy::cast_possible_truncation,
+    reason = "payloads are a few pages at most; the frame format stores len as u32"
+)]
 fn encode_frame(payload: &[u8]) -> Vec<u8> {
     let len = payload.len() as u32;
     let mut crc_input = Vec::with_capacity(4 + payload.len());
@@ -763,20 +796,34 @@ fn encode_frame(payload: &[u8]) -> Vec<u8> {
     frame
 }
 
-fn read_u32(bytes: &[u8], at: usize) -> u32 {
-    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let end = at.checked_add(4)?;
+    Some(u32::from_le_bytes(bytes.get(at..end)?.try_into().ok()?))
 }
 
-fn read_u64(bytes: &[u8], at: usize) -> u64 {
-    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+fn read_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    let end = at.checked_add(8)?;
+    Some(u64::from_le_bytes(bytes.get(at..end)?.try_into().ok()?))
 }
 
-fn decode_layout(bytes: &[u8], at: usize) -> Layout {
-    Layout {
-        globals_pages: read_u64(bytes, at) as usize,
-        stack_pages: read_u64(bytes, at + 8) as usize,
-        heap_pages: read_u64(bytes, at + 16) as usize,
-    }
+/// Decodes a layout from untrusted bytes. `None` when the bytes run out
+/// or the layout is unrepresentable: the total image size
+/// (`total_pages * PAGE_SIZE`) must fit in `usize`, which also
+/// guarantees later size arithmetic on an accepted layout cannot
+/// overflow.
+fn decode_layout(bytes: &[u8], at: usize) -> Option<Layout> {
+    let globals_pages = usize::try_from(read_u64(bytes, at)?).ok()?;
+    let stack_pages = usize::try_from(read_u64(bytes, at.checked_add(8)?)?).ok()?;
+    let heap_pages = usize::try_from(read_u64(bytes, at.checked_add(16)?)?).ok()?;
+    globals_pages
+        .checked_add(stack_pages)?
+        .checked_add(heap_pages)?
+        .checked_mul(PAGE_SIZE)?;
+    Some(Layout {
+        globals_pages,
+        stack_pages,
+        heap_pages,
+    })
 }
 
 enum HeaderScan {
@@ -786,25 +833,33 @@ enum HeaderScan {
 }
 
 fn parse_log_header(raw: &[u8], check_crc: bool) -> HeaderScan {
-    let hl = LOG_HEADER_LEN as usize;
+    let hl = LOG_HEADER_BYTES;
     if raw.len() < hl {
         return HeaderScan::Torn;
     }
-    if &raw[0..4] != LOG_MAGIC {
+    let magic = raw.get(0..4).unwrap_or_default();
+    if magic != LOG_MAGIC {
         return HeaderScan::Corrupt {
             offset: 0,
-            detail: format!("bad log magic {:02x?} (want {LOG_MAGIC:02x?})", &raw[0..4]),
+            detail: format!("bad log magic {magic:02x?} (want {LOG_MAGIC:02x?})"),
         };
     }
-    let version = read_u32(raw, 4);
+    let Some(version) = read_u32(raw, 4) else {
+        return HeaderScan::Torn;
+    };
     if version != FORMAT_VERSION {
         return HeaderScan::Corrupt {
             offset: 4,
             detail: format!("log format version {version} (this build reads {FORMAT_VERSION})"),
         };
     }
-    let crc = read_u32(raw, hl - 4);
-    if check_crc && crc != crc32(&raw[..hl - 4]) {
+    let (Some(crc), Some(crc_body)) = (
+        read_u32(raw, LOG_HEADER_CRC_AT),
+        raw.get(..LOG_HEADER_CRC_AT),
+    ) else {
+        return HeaderScan::Torn;
+    };
+    if check_crc && crc != crc32(crc_body) {
         // A damaged header with records after it is committed-region
         // corruption; a bare damaged header is a creation tear.
         if raw.len() > hl {
@@ -812,16 +867,22 @@ fn parse_log_header(raw: &[u8], check_crc: bool) -> HeaderScan {
                 offset: 0,
                 detail: format!(
                     "log header CRC mismatch (stored {crc:#010x}, computed {:#010x})",
-                    crc32(&raw[..hl - 4])
+                    crc32(crc_body)
                 ),
             };
         }
         return HeaderScan::Torn;
     }
-    HeaderScan::Valid {
-        layout: decode_layout(raw, 8),
-        base_seq: read_u64(raw, 32),
-    }
+    let Some(layout) = decode_layout(raw, 8) else {
+        return HeaderScan::Corrupt {
+            offset: 8,
+            detail: "log header layout does not fit the addressable arena".to_string(),
+        };
+    };
+    let Some(base_seq) = read_u64(raw, 32) else {
+        return HeaderScan::Torn;
+    };
+    HeaderScan::Valid { layout, base_seq }
 }
 
 enum FrameScan<'a> {
@@ -837,26 +898,40 @@ enum FrameScan<'a> {
 }
 
 fn scan_frame(raw: &[u8], off: usize, check_crc: bool) -> FrameScan<'_> {
-    let remaining = raw.len() - off;
-    if remaining == 0 {
+    let frame = raw.get(off..).unwrap_or_default();
+    if frame.is_empty() {
         return FrameScan::End;
     }
-    if remaining < FRAME_PREFIX {
+    if frame.len() < FRAME_PREFIX {
         return FrameScan::Torn;
     }
-    let len = read_u32(raw, off) as usize;
-    if FRAME_PREFIX + len > remaining {
+    let Some(len) = read_u32(frame, 0) else {
+        return FrameScan::Torn;
+    };
+    let len = len as usize;
+    let Some(end) = FRAME_PREFIX.checked_add(len) else {
+        return FrameScan::Torn;
+    };
+    if end > frame.len() {
         // The frame claims bytes past end-of-file: the append never
         // finished.
         return FrameScan::Torn;
     }
-    let stored = read_u32(raw, off + 4);
-    let mut crc_input = Vec::with_capacity(4 + len);
-    crc_input.extend_from_slice(&raw[off..off + 4]);
-    crc_input.extend_from_slice(&raw[off + FRAME_PREFIX..off + FRAME_PREFIX + len]);
+    let (Some(stored), Some(len_prefix), Some(payload)) = (
+        read_u32(frame, 4),
+        frame.get(..4),
+        frame.get(FRAME_PREFIX..end),
+    ) else {
+        return FrameScan::Torn;
+    };
+    let mut crc_input = Vec::with_capacity(4usize.saturating_add(len));
+    crc_input.extend_from_slice(len_prefix);
+    crc_input.extend_from_slice(payload);
     let computed = crc32(&crc_input);
+    let Some(next) = off.checked_add(end) else {
+        return FrameScan::Torn;
+    };
     if check_crc && stored != computed {
-        let next = off + FRAME_PREFIX + len;
         if next == raw.len() {
             // Bad CRC on the very last frame: the classic torn write —
             // the length prefix landed but the payload did not (or only
@@ -874,10 +949,7 @@ fn scan_frame(raw: &[u8], off: usize, check_crc: bool) -> FrameScan<'_> {
             ),
         };
     }
-    FrameScan::Record {
-        payload: &raw[off + FRAME_PREFIX..off + FRAME_PREFIX + len],
-        next: off + FRAME_PREFIX + len,
-    }
+    FrameScan::Record { payload, next }
 }
 
 struct CommitPayload {
@@ -897,21 +969,29 @@ fn parse_commit_payload(
             detail: format!("record payload too short ({} bytes)", payload.len()),
         });
     }
-    if payload[0] != TAG_COMMIT {
+    let tag = payload.first().copied().unwrap_or_default();
+    if tag != TAG_COMMIT {
         return Err(DurableError::Corrupt {
             offset,
-            detail: format!("unknown record tag {}", payload[0]),
+            detail: format!("unknown record tag {tag}"),
         });
     }
-    let seq = read_u64(payload, 1);
+    let truncated = || DurableError::Corrupt {
+        offset,
+        detail: format!("record payload truncated ({} bytes)", payload.len()),
+    };
+    let seq = read_u64(payload, 1).ok_or_else(truncated)?;
     if seq != expected_seq {
         return Err(DurableError::Corrupt {
             offset,
             detail: format!("sequence break: record claims seq {seq}, expected {expected_seq}"),
         });
     }
-    let npages = read_u32(payload, 9) as usize;
-    if payload.len() != PAYLOAD_PREFIX + npages * (4 + PAGE_SIZE) {
+    let npages = read_u32(payload, 9).ok_or_else(truncated)? as usize;
+    let expected_len = npages
+        .checked_mul(PAGE_ENTRY_LEN)
+        .and_then(|b| b.checked_add(PAYLOAD_PREFIX));
+    if expected_len != Some(payload.len()) {
         return Err(DurableError::Corrupt {
             offset,
             detail: format!(
@@ -924,15 +1004,20 @@ fn parse_commit_payload(
     let mut pages = Vec::with_capacity(npages);
     let mut at = PAYLOAD_PREFIX;
     for _ in 0..npages {
-        let page = read_u32(payload, at) as usize;
+        let page = read_u32(payload, at).ok_or_else(truncated)? as usize;
         if page >= total_pages {
             return Err(DurableError::Corrupt {
                 offset,
                 detail: format!("page index {page} outside the {total_pages}-page arena"),
             });
         }
-        pages.push((page, payload[at + 4..at + 4 + PAGE_SIZE].to_vec()));
-        at += 4 + PAGE_SIZE;
+        let image = at
+            .checked_add(4)
+            .and_then(|lo| lo.checked_add(PAGE_SIZE).map(|hi| (lo, hi)))
+            .and_then(|(lo, hi)| payload.get(lo..hi))
+            .ok_or_else(truncated)?;
+        pages.push((page, image.to_vec()));
+        at = at.checked_add(PAGE_ENTRY_LEN).ok_or_else(truncated)?;
     }
     Ok(CommitPayload { seq, pages })
 }
@@ -956,16 +1041,18 @@ fn read_checkpoint(path: &Path, check_crc: bool) -> DurableResult<Option<Checkpo
             detail: format!("checkpoint too short ({} bytes)", raw.len()),
         });
     }
-    if &raw[0..4] != CKPT_MAGIC {
+    let magic = raw.get(0..4).unwrap_or_default();
+    if magic != CKPT_MAGIC {
         return Err(DurableError::Corrupt {
             offset: 0,
-            detail: format!(
-                "bad checkpoint magic {:02x?} (want {CKPT_MAGIC:02x?})",
-                &raw[0..4]
-            ),
+            detail: format!("bad checkpoint magic {magic:02x?} (want {CKPT_MAGIC:02x?})"),
         });
     }
-    let version = read_u32(raw.as_slice(), 4);
+    let truncated = || DurableError::Corrupt {
+        offset: 0,
+        detail: format!("checkpoint truncated ({} bytes)", raw.len()),
+    };
+    let version = read_u32(raw.as_slice(), 4).ok_or_else(truncated)?;
     if version != FORMAT_VERSION {
         return Err(DurableError::Corrupt {
             offset: 4,
@@ -974,9 +1061,18 @@ fn read_checkpoint(path: &Path, check_crc: bool) -> DurableResult<Option<Checkpo
             ),
         });
     }
-    let layout = decode_layout(&raw, 8);
-    let expect = 40 + layout.total_pages() * PAGE_SIZE + 4;
-    if raw.len() != expect {
+    let layout = decode_layout(&raw, 8).ok_or(DurableError::Corrupt {
+        offset: 8,
+        detail: "checkpoint layout does not fit the addressable arena".to_string(),
+    })?;
+    // 40-byte header + image + 4-byte CRC. `decode_layout` proved the
+    // image size representable, so only the additions need checking.
+    let expect = layout
+        .total_pages()
+        .checked_mul(PAGE_SIZE)
+        .and_then(|image| image.checked_add(44));
+    if expect != Some(raw.len()) {
+        let expect = expect.map_or_else(|| "unrepresentable size".to_string(), |e| e.to_string());
         return Err(DurableError::Corrupt {
             offset: 8,
             detail: format!(
@@ -985,11 +1081,13 @@ fn read_checkpoint(path: &Path, check_crc: bool) -> DurableResult<Option<Checkpo
             ),
         });
     }
-    let stored = read_u32(raw.as_slice(), raw.len() - 4);
-    let computed = crc32(&raw[..raw.len() - 4]);
+    let crc_at = raw.len().checked_sub(4).ok_or_else(truncated)?;
+    let stored = read_u32(raw.as_slice(), crc_at).ok_or_else(truncated)?;
+    let crc_body = raw.get(..crc_at).ok_or_else(truncated)?;
+    let computed = crc32(crc_body);
     if check_crc && stored != computed {
         return Err(DurableError::Corrupt {
-            offset: raw.len() as u64 - 4,
+            offset: crc_at as u64,
             detail: format!(
                 "checkpoint CRC mismatch (stored {stored:#010x}, computed {computed:#010x})"
             ),
@@ -997,8 +1095,8 @@ fn read_checkpoint(path: &Path, check_crc: bool) -> DurableResult<Option<Checkpo
     }
     Ok(Some(CheckpointImage {
         layout,
-        seq: read_u64(raw.as_slice(), 32),
-        image: raw[40..raw.len() - 4].to_vec(),
+        seq: read_u64(raw.as_slice(), 32).ok_or_else(truncated)?,
+        image: raw.get(40..crc_at).ok_or_else(truncated)?.to_vec(),
     }))
 }
 
@@ -1251,7 +1349,7 @@ mod tests {
         // region (a valid record follows it).
         let path = dir.join(LOG_FILE);
         let mut raw = fs::read(&path).unwrap();
-        let target = LOG_HEADER_LEN as usize + FRAME_PREFIX + PAYLOAD_PREFIX + 4 + 100;
+        let target = LOG_HEADER_BYTES + FRAME_PREFIX + PAYLOAD_PREFIX + 4 + 100;
         raw[target] ^= 0xFF;
         fs::write(&path, &raw).unwrap();
         let err = DurableStore::open(&dir, small_opts()).unwrap_err();
@@ -1278,7 +1376,7 @@ mod tests {
         }
         let path = dir.join(LOG_FILE);
         let mut raw = fs::read(&path).unwrap();
-        let target = LOG_HEADER_LEN as usize + FRAME_PREFIX + PAYLOAD_PREFIX + 4 + 100;
+        let target = LOG_HEADER_BYTES + FRAME_PREFIX + PAYLOAD_PREFIX + 4 + 100;
         raw[target] ^= 0xFF;
         fs::write(&path, &raw).unwrap();
         let mutant = DurableOptions {

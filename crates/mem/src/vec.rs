@@ -184,6 +184,10 @@ impl<T: Pod> ArenaVec<T> {
     }
 
     /// Rebuilds a vector from a persisted handle triple.
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "handle triples were usize when persisted and the arena stays far below 4 GiB"
+    )]
     pub fn from_handle_triple(data_off: u64, len: u64, cap: u64) -> Self {
         ArenaVec {
             data_off: data_off as usize,

@@ -8,12 +8,18 @@
 //! (empty log, log-only, checkpoint-only) and the fail-stop contract
 //! for committed-region damage.
 
+// Test inputs are tiny by construction (seed counts, page numbers,
+// probe offsets), so index-type narrowing cannot truncate here; the
+// production decode paths stay under the per-site cast audit.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ft_mem::arena::{Layout, PAGE_SIZE};
 use ft_mem::durable::{
-    DurableError, DurableOptions, DurableStore, FsyncPolicy, LOG_FILE, LOG_HEADER_LEN,
+    crc32, DurableError, DurableOptions, DurableStore, FsyncPolicy, CHECKPOINT_FILE, LOG_FILE,
+    LOG_HEADER_LEN,
 };
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -212,5 +218,74 @@ fn checkpoint_only_recovery_round_trips() {
     assert_eq!(info.replayed, 0, "post-compaction log holds no records");
     assert!(info.used_checkpoint);
     assert_eq!(store.state_digest(), digest);
+    cleanup(&dir);
+}
+
+/// Regression for the fail-stop conversion of `decode_layout` /
+/// `read_checkpoint`: a checkpoint whose layout fields are absurdly
+/// large used to overflow `40 + total_pages * PAGE_SIZE + 4` (a
+/// debug-build panic) before the length check could reject it. It must
+/// be reported as corruption, not a crash.
+#[test]
+fn checkpoint_with_unrepresentable_layout_is_fail_stop() {
+    let dir = scratch("hugelayout");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FTDC");
+    bytes.extend_from_slice(&1u32.to_le_bytes()); // FORMAT_VERSION
+    for _ in 0..3 {
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // layout pages
+    }
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // seq
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    std::fs::write(dir.join(CHECKPOINT_FILE), &bytes).unwrap();
+    match DurableStore::open(&dir, opts()) {
+        Err(DurableError::Corrupt { offset, detail }) => {
+            assert_eq!(offset, 8, "diagnostic should point at the layout field");
+            assert!(detail.contains("layout"), "unexpected diagnostic: {detail}");
+        }
+        Err(e) => panic!("expected fail-stop corruption, got: {e}"),
+        Ok(_) => panic!("unrepresentable checkpoint layout was accepted"),
+    }
+    cleanup(&dir);
+}
+
+/// Regression for the fail-stop conversion of `parse_commit_payload`:
+/// a record claiming ~4 billion pages used to overflow
+/// `npages * (4 + PAGE_SIZE)` in the length cross-check (a debug-build
+/// panic). The claim must be rejected as corruption instead.
+#[test]
+fn commit_record_with_absurd_page_count_is_fail_stop() {
+    let dir = scratch("hugepages");
+    let store = DurableStore::create(&dir, tiny(), opts()).unwrap();
+    drop(store);
+    let log_path = dir.join(LOG_FILE);
+    let mut bytes = std::fs::read(&log_path).unwrap();
+    // Frame: len(u32) + crc(u32) + payload[tag, seq u64, npages u32].
+    let mut payload = vec![1u8]; // TAG_COMMIT
+    payload.extend_from_slice(&1u64.to_le_bytes()); // seq 1 (expected next)
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // npages
+    let len = payload.len() as u32;
+    let mut crc_input = len.to_le_bytes().to_vec();
+    crc_input.extend_from_slice(&payload);
+    let crc = crc32(&crc_input);
+    bytes.extend_from_slice(&len.to_le_bytes());
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    // The frame's CRC is valid, so this is not a torn tail: the payload
+    // itself makes the impossible claim.
+    std::fs::write(&log_path, &bytes).unwrap();
+    match DurableStore::open(&dir, opts()) {
+        Err(DurableError::Corrupt { offset, detail }) => {
+            assert_eq!(offset, LOG_HEADER_LEN);
+            assert!(
+                detail.contains("inconsistent"),
+                "unexpected diagnostic: {detail}"
+            );
+        }
+        Err(e) => panic!("expected fail-stop corruption, got: {e}"),
+        Ok(_) => panic!("absurd page count was accepted"),
+    }
     cleanup(&dir);
 }

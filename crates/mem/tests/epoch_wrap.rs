@@ -11,6 +11,11 @@
 //! `Arena::force_epoch` fast-forwards one arena to `u32::MAX - 2` so the
 //! wrap happens inside a short scripted run.
 
+// Test inputs are tiny by construction (seed counts, page numbers,
+// probe offsets), so index-type narrowing cannot truncate here; the
+// production decode paths stay under the per-site cast audit.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use ft_mem::arena::{Arena, Layout, PAGE_SIZE};
 
 /// SplitMix64 (ft-mem sits below the simulator, so it carries its own

@@ -60,6 +60,10 @@ impl Default for CostModel {
 
 impl CostModel {
     /// Network transfer time for a payload of `bytes`.
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "bytes * 1e9 / bandwidth fits u64 for any realistic transfer (< ~584 years of ns)"
+    )]
     pub fn net_transfer_ns(&self, bytes: usize) -> SimTime {
         (bytes as u128 * 1_000_000_000 / self.net_bytes_per_sec as u128) as SimTime
     }

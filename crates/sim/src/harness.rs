@@ -135,7 +135,7 @@ pub fn run_plain_on(mut sim: Simulator, apps: &mut [Box<dyn App>]) -> PlainRepor
             }
         }
     }
-    let all_done = (0..apps.len()).all(|p| sim.is_done(ProcessId(p as u32)));
+    let all_done = (0..apps.len()).all(|p| sim.is_done(ProcessId::from_index(p)));
     let now = sim.now();
     let files = if apps.is_empty() {
         Default::default()

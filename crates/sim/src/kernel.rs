@@ -156,7 +156,7 @@ impl Kernel {
             name: name.to_string(),
             pos: 0,
         });
-        Ok(slot as u32)
+        Ok(u32::try_from(slot).expect("fd table is tiny"))
     }
 
     /// Appends to the file behind `fd`.
@@ -234,6 +234,7 @@ impl Kernel {
         out.table.extend(self.table.iter().cloned());
         out.file_lens.clear();
         out.file_lens
+            // ft-lint: allow(unordered-iteration): order-insensitive copy, canonically sorted two lines below
             .extend(self.files.iter().map(|(n, d)| (n.clone(), d.len())));
         // Name-sorted so the snapshot itself is a deterministic value
         // (restore is order-independent either way, but a canonical form
@@ -254,6 +255,7 @@ impl Kernel {
         self.table.clear();
         self.table.extend(snap.table.iter().cloned());
         let lens = &snap.file_lens;
+        // ft-lint: allow(unordered-iteration): per-entry keep/truncate decision depends only on the key, never on visit order
         self.files.retain(|name, data| {
             match lens.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
                 Ok(i) => {

@@ -1054,7 +1054,7 @@ mod tests {
         // Retransmissions are duplicates: filtered, no second arrival;
         // once the partition heals the ack lands and the timer disarms.
         let mut timer = Some(retry);
-        let mut rounds = 0;
+        let mut rounds = 0u64;
         while let Some(t) = timer {
             let (a, r) = n.handle_retransmit(p(0), p(1), 0, t);
             assert_eq!(a, None, "payload never re-arrives");
@@ -1063,7 +1063,7 @@ mod tests {
             assert!(rounds < 20, "timer must disarm after the heal");
         }
         assert!(n.stats().dup_drops >= 1);
-        assert_eq!(n.stats().retransmissions as usize, rounds);
+        assert_eq!(n.stats().retransmissions, rounds);
         // Exactly one copy was ever deliverable.
         let mut got = 0;
         while n.try_recv(p(1), 1_000_000).is_some() {

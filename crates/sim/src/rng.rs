@@ -61,6 +61,10 @@ impl SplitMix64 {
     }
 
     /// Uniform `usize` index in `[0, bound)`.
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "the draw is < bound, which fit a usize on the way in"
+    )]
     pub fn index(&mut self, bound: usize) -> usize {
         self.below(bound as u64) as usize
     }

@@ -223,7 +223,13 @@ impl Simulator {
         };
         for p in 0..n {
             let gen = sim.gen[p];
-            sim.push(0, QEv::Ready { pid: p as u32, gen });
+            sim.push(
+                0,
+                QEv::Ready {
+                    pid: ProcessId::from_index(p).0,
+                    gen,
+                },
+            );
         }
         sim
     }
@@ -410,7 +416,12 @@ impl Simulator {
                 self.nodes_killed[node] = true;
                 for q in 0..self.cfg.n_procs {
                     if self.cfg.node_of[q] == node {
-                        self.push(end, QEv::Kill { pid: q as u32 });
+                        self.push(
+                            end,
+                            QEv::Kill {
+                                pid: ProcessId::from_index(q).0,
+                            },
+                        );
                     }
                 }
             }

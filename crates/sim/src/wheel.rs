@@ -183,6 +183,10 @@ impl<T> TimerWheel<T> {
     /// The slot index (into `slots`) for a time `t >= floor`: its
     /// divergence level — the highest 6-bit digit where `t` and the floor
     /// differ — and `t`'s digit at that level.
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "slot indices are 6-bit masks and levels are < 11; both narrowings are exact"
+    )]
     fn slot_of(&self, t: u64) -> usize {
         let diff = t ^ self.floor;
         if diff == 0 {
@@ -227,7 +231,7 @@ impl<T> TimerWheel<T> {
                 next: NIL,
                 item: Some(item),
             });
-            (self.nodes.len() - 1) as u32
+            u32::try_from(self.nodes.len() - 1).expect("timer slab outgrew u32 indices")
         } else {
             let idx = self.free;
             let n = &mut self.nodes[idx as usize];
